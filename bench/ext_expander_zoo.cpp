@@ -1,0 +1,54 @@
+// Extension: the expander zoo. The paper's headline finding — expanders
+// win at scale — was confirmed by Xpander (HotNets'15, cited as [44]).
+// This bench lines up the expander-family designs (Jellyfish, Xpander,
+// Long Hop, Slim Fly) against classic HPC baselines (hypercube, 2-D torus)
+// at comparable gear, under A2A and LM, normalized by same-equipment
+// random graphs.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/evaluator.h"
+#include "graph/algorithms.h"
+#include "tm/synthetic.h"
+#include "topo/hypercube.h"
+#include "topo/jellyfish.h"
+#include "topo/longhop.h"
+#include "topo/slimfly.h"
+#include "topo/torus.h"
+#include "topo/xpander.h"
+
+int main() {
+  using namespace tb;
+  const double eps = bench::env_eps(0.06);
+  const int trials = bench::env_trials(2);
+
+  std::vector<Network> nets;
+  nets.push_back(make_jellyfish(64, 6, 1, 5));
+  nets.push_back(make_xpander(6, 9, 1, 5));           // 63 switches, d=6
+  nets.push_back(make_long_hop(6, 2, 1, 5));          // 64 switches, d=8
+  nets.push_back(make_slim_fly(5, 1));                // 50 switches, d=7
+  nets.push_back(make_hypercube(6));                  // 64 switches, d=6
+  nets.push_back(make_torus({8, 8}, 1));              // 64 switches, d=4
+
+  Table table({"network", "switches", "degree", "diameter", "rel_A2A",
+               "rel_LM"});
+  for (const Network& net : nets) {
+    RelativeOptions opts;
+    opts.random_trials = trials;
+    opts.solve.epsilon = eps;
+    opts.seed = 11;
+    const double a2a = relative_throughput(net, all_to_all(net), opts).relative;
+    const double lm =
+        relative_throughput(net, longest_matching(net), opts).relative;
+    table.add_row({net.name, std::to_string(net.graph.num_nodes()),
+                   std::to_string(net.graph.degree(0)),
+                   std::to_string(diameter(net.graph)), Table::fmt(a2a, 3),
+                   Table::fmt(lm, 3)});
+  }
+  bench::emit(table,
+              "Extension: expander designs vs classic HPC baselines "
+              "(relative throughput, same-equipment normalization)");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 5: relative throughput (normalized by same-equipment random
+// graphs) vs network size under (a) all-to-all, (b) random matching and
+// (c) longest matching, for BCube, DCell, Dragonfly, fat tree, flattened
+// butterfly and hypercube.
+//
+// Paper claims reproduced: relative performance of most of these families
+// degrades with scale; which family "wins" depends on the TM (Dragonfly
+// strong under A2A, fat tree strongest under LM at the largest sizes).
+#include "scaling_common.h"
+
+int main() {
+  using namespace tb;
+  bench::scaling_sweep(
+      {Family::BCube, Family::DCell, Family::Dragonfly, Family::FatTree,
+       Family::FlattenedBF, Family::Hypercube},
+      "Fig 5: relative throughput vs size (part 1)", /*max_servers=*/500);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 6: relative throughput vs network size for the expander-family
+// proposals — HyperX, Jellyfish, Long Hop, Slim Fly.
+//
+// Paper claims reproduced: Jellyfish sits at 1 by definition; Long Hop and
+// Slim Fly track the random graph closely (within a few percent, Slim Fly
+// degrading under LM at size); HyperX is irregular and markedly below 1.
+#include "scaling_common.h"
+
+int main() {
+  using namespace tb;
+  bench::scaling_sweep(
+      {Family::HyperX, Family::Jellyfish, Family::LongHop, Family::SlimFly},
+      "Fig 6: relative throughput vs size (part 2)", /*max_servers=*/900);
+  return 0;
+}

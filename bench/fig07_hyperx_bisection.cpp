@@ -1,0 +1,41 @@
+// Figure 7: HyperX relative throughput under the longest-matching TM for
+// least-cost HyperX networks designed to bisection targets 0.2 / 0.4 / 0.5.
+//
+// Paper claims reproduced: performance varies widely and irregularly with
+// size for every bisection target, and a higher designed bisection does
+// not imply higher worst-case throughput.
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "core/evaluator.h"
+#include "tm/synthetic.h"
+#include "topo/hyperx.h"
+
+int main() {
+  using namespace tb;
+  const double eps = bench::env_eps(0.10);
+  const int trials = bench::env_trials(2);
+
+  Table table({"bisection", "servers", "L", "S", "K", "T", "rel_LM"});
+  for (const double beta : {0.2, 0.4, 0.5}) {
+    for (const long target : {32L, 64L, 96L, 128L, 192L, 256L}) {
+      const auto params = search_hyperx(16, target, beta);
+      if (!params) continue;
+      const Network net = make_hyperx(*params);
+      RelativeOptions opts;
+      opts.random_trials = trials;
+      opts.solve.epsilon = eps;
+      opts.seed = 4000 + static_cast<std::uint64_t>(beta * 100);
+      const RelativeResult lm =
+          relative_throughput(net, longest_matching(net), opts);
+      table.add_row({Table::fmt(beta, 1), std::to_string(net.total_servers()),
+                     std::to_string(params->L), std::to_string(params->S),
+                     std::to_string(params->K), std::to_string(params->T),
+                     Table::fmt(lm.relative, 3)});
+    }
+  }
+  bench::emit(table,
+              "Fig 7: HyperX relative throughput under LM vs designed bisection");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figures 10 & 11: robustness to non-uniform demand — the longest-matching
+// TM with x% of flows given weight 10 (others weight 1), x swept over
+// 1..100, relative throughput per family.
+//
+// Paper claims reproduced: all families degrade gracefully except the fat
+// tree, which dips sharply when a few elephants dominate (its ToR uplinks
+// carry only locally originated traffic, so one weight-10 flow pins a ToR).
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "tm/synthetic.h"
+
+int main() {
+  using namespace tb;
+  const double eps = bench::env_eps(0.10);
+  const int trials = bench::env_trials(2);
+  const int target_servers = 128;
+
+  Table table({"topology", "servers", "x=1%", "x=5%", "x=20%", "x=50%",
+               "x=100%"});
+  for (const Family f : all_families()) {
+    const Network net = family_representative(f, target_servers, /*seed=*/1);
+    const TrafficMatrix base = longest_matching(net);
+    std::vector<std::string> row{family_name(f),
+                                 std::to_string(net.total_servers())};
+    for (const double frac : {0.01, 0.05, 0.20, 0.50, 1.00}) {
+      const TrafficMatrix tm = with_elephants(base, frac, 10.0, /*seed=*/77);
+      RelativeOptions opts;
+      opts.random_trials = trials;
+      opts.solve.epsilon = eps;
+      opts.seed = 7000 + static_cast<std::uint64_t>(f);
+      const RelativeResult r = relative_throughput(net, tm, opts);
+      row.push_back(Table::fmt(r.relative, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table,
+              "Figs 10-11: relative throughput with x% weight-10 elephant flows "
+              "(LM base)");
+  return 0;
+}

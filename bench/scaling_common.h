@@ -1,0 +1,48 @@
+// Shared sweep for Figures 5 and 6 and Table I: relative throughput
+// (vs same-equipment random graphs) across each family's size ladder,
+// under the A2A, RM(1) and LM traffic matrices.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "tm/synthetic.h"
+#include "util/table.h"
+
+namespace tb::bench {
+
+inline void scaling_sweep(const std::vector<Family>& families,
+                          const std::string& caption, int max_servers) {
+  // Single-core default: a 10% certified gap is well below the separations
+  // the figures exhibit; tighten with TOPOBENCH_EPS for publication runs.
+  const double eps = env_eps(0.10);
+  const int trials = env_trials(2);
+
+  Table table({"topology", "servers", "switches", "rel_A2A", "rel_RM1",
+               "rel_LM", "ci95_LM"});
+  for (const Family f : families) {
+    for (const Network& net : family_instances(f, 8, max_servers, /*seed=*/1)) {
+      RelativeOptions opts;
+      opts.random_trials = trials;
+      opts.solve.epsilon = eps;
+      opts.seed = 1000 + static_cast<std::uint64_t>(f);
+      const RelativeResult a2a = relative_throughput(net, all_to_all(net), opts);
+      const RelativeResult rm =
+          relative_throughput(net, random_matching(net, 1, 17), opts);
+      const RelativeResult lm =
+          relative_throughput(net, longest_matching(net), opts);
+      table.add_row({family_name(f), std::to_string(net.total_servers()),
+                     std::to_string(net.graph.num_nodes()),
+                     Table::fmt(a2a.relative, 3), Table::fmt(rm.relative, 3),
+                     Table::fmt(lm.relative, 3),
+                     Table::fmt(lm.relative_ci95, 3)});
+    }
+  }
+  emit(table, caption);
+}
+
+}  // namespace tb::bench

@@ -1,0 +1,43 @@
+// Table I: relative throughput at the largest size tested for the Figure 5
+// families, under all-to-all, random matching and longest matching.
+//
+// Paper's values (at its larger scale): BCube 73/90/51, DCell 93/97/79,
+// Dragonfly 95/76/72, Fat tree 65/73/89, Flattened BF 59/71/47, Hypercube
+// 72/84/51 (percent). Shape expectations: all below 100%; fat tree is the
+// only family whose LM column beats its A2A column.
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "tm/synthetic.h"
+
+int main() {
+  using namespace tb;
+  const double eps = bench::env_eps(0.10);
+  const int trials = bench::env_trials(2);
+
+  Table table({"topology", "servers", "All-To-All", "RandomMatching",
+               "LongestMatching"});
+  for (const Family f :
+       {Family::BCube, Family::DCell, Family::Dragonfly, Family::FatTree,
+        Family::FlattenedBF, Family::Hypercube}) {
+    const Network net = family_representative(f, 1'000'000, /*seed=*/1);
+    RelativeOptions opts;
+    opts.random_trials = trials;
+    opts.solve.epsilon = eps;
+    opts.seed = 2000 + static_cast<std::uint64_t>(f);
+    const double a2a =
+        relative_throughput(net, all_to_all(net), opts).relative;
+    const double rm =
+        relative_throughput(net, random_matching(net, 1, 17), opts).relative;
+    const double lm =
+        relative_throughput(net, longest_matching(net), opts).relative;
+    const auto pct = [](double v) { return Table::fmt(100.0 * v, 1) + "%"; };
+    table.add_row({family_name(f), std::to_string(net.total_servers()),
+                   pct(a2a), pct(rm), pct(lm)});
+  }
+  bench::emit(table, "Table I: relative throughput at the largest size tested");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// topobench_cli — a small command-line front end over the library, for
+// scripted use (emits edge lists and plain tables).
+//
+//   topobench_cli gen  <family> <target_servers> [seed]
+//       Generate a topology and print it in edge-list format.
+//   topobench_cli eval <edge-list-file> <a2a|rm|lm> [epsilon]
+//       Throughput of the given TM on a topology file.
+//   topobench_cli cuts <edge-list-file>
+//       Sparse-cut survey (longest-matching TM).
+//   topobench_cli rel  <family> <target_servers> [trials]
+//       Relative throughput vs same-equipment random graphs.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "cuts/sparsest_cut.h"
+#include "mcf/throughput.h"
+#include "tm/synthetic.h"
+#include "topo/io.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tb;
+
+const std::map<std::string, Family>& family_map() {
+  static const std::map<std::string, Family> m{
+      {"bcube", Family::BCube},         {"dcell", Family::DCell},
+      {"dragonfly", Family::Dragonfly}, {"fattree", Family::FatTree},
+      {"fbf", Family::FlattenedBF},     {"hypercube", Family::Hypercube},
+      {"hyperx", Family::HyperX},       {"jellyfish", Family::Jellyfish},
+      {"longhop", Family::LongHop},     {"slimfly", Family::SlimFly}};
+  return m;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  topobench_cli gen  <family> <target_servers> [seed]\n"
+            << "  topobench_cli eval <file> <a2a|rm|lm> [epsilon]\n"
+            << "  topobench_cli cuts <file>\n"
+            << "  topobench_cli rel  <family> <target_servers> [trials]\n"
+            << "families:";
+  for (const auto& [name, f] : family_map()) {
+    (void)f;
+    std::cerr << ' ' << name;
+  }
+  std::cerr << '\n';
+  return 2;
+}
+
+Network load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(in, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "gen") {
+      if (argc < 4) return usage();
+      const auto it = family_map().find(argv[2]);
+      if (it == family_map().end()) return usage();
+      const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+      const Network net =
+          family_representative(it->second, std::atoi(argv[3]), seed);
+      write_edge_list(std::cout, net);
+      return 0;
+    }
+
+    if (cmd == "eval") {
+      if (argc < 4) return usage();
+      const Network net = load(argv[2]);
+      net.validate();
+      const std::string kind = argv[3];
+      TrafficMatrix tm;
+      if (kind == "a2a") {
+        tm = all_to_all(net);
+      } else if (kind == "rm") {
+        tm = random_matching(net, 1, 7);
+      } else if (kind == "lm") {
+        tm = longest_matching(net);
+      } else {
+        return usage();
+      }
+      mcf::SolveOptions opts;
+      if (argc > 4) opts.epsilon = std::strtod(argv[4], nullptr);
+      const auto r = mcf::compute_throughput(net, tm, opts);
+      std::cout << "network " << net.name << "\ntm " << tm.name << "\nflows "
+                << tm.num_flows() << "\nthroughput " << r.throughput
+                << "\nupper_bound " << r.upper_bound << "\nsolver " << r.solver
+                << '\n';
+      return 0;
+    }
+
+    if (cmd == "cuts") {
+      const Network net = load(argv[2]);
+      net.validate();
+      const TrafficMatrix tm = longest_matching(net);
+      const cuts::SparseCutSurvey survey = cuts::best_sparse_cut(net.graph, tm);
+      Table table({"method", "sparsity"});
+      for (const auto& [method, value] : survey.per_method) {
+        table.add_row({method, Table::fmt(value)});
+      }
+      table.print(std::cout, "sparse-cut survey (LM TM) for " + net.name);
+      std::cout << "best: " << Table::fmt(survey.best.sparsity) << " via "
+                << survey.best.method << '\n';
+      return 0;
+    }
+
+    if (cmd == "rel") {
+      if (argc < 4) return usage();
+      const auto it = family_map().find(argv[2]);
+      if (it == family_map().end()) return usage();
+      const Network net =
+          family_representative(it->second, std::atoi(argv[3]), 1);
+      RelativeOptions opts;
+      opts.random_trials = argc > 4 ? std::atoi(argv[4]) : 2;
+      opts.solve.epsilon = 0.06;
+      const RelativeResult r =
+          relative_throughput(net, longest_matching(net), opts);
+      std::cout << "network " << net.name << "\nthroughput "
+                << r.topo_throughput << "\nrandom_mean "
+                << r.random_throughput.mean << "\nrelative " << r.relative
+                << " +- " << r.relative_ci95 << '\n';
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << '\n';
+    return 1;
+  }
+}

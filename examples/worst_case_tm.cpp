@@ -1,0 +1,69 @@
+// Near-worst-case traffic analysis for a topology you choose — the paper's
+// §II-C workflow as a tool:
+//
+//   $ ./examples/worst_case_tm <family> [target_servers]
+//     family in: bcube dcell dragonfly fattree fbf hypercube hyperx
+//                jellyfish longhop slimfly
+//
+// Generates the TM hardness ladder (A2A, RM(5), RM(1), longest matching),
+// reports each TM's throughput, the Theorem 2 lower bound, how close LM
+// gets to it, and the sparse-cut upper bound for context.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/registry.h"
+#include "cuts/sparsest_cut.h"
+#include "mcf/throughput.h"
+#include "tm/synthetic.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tb;
+  const std::map<std::string, Family> by_name{
+      {"bcube", Family::BCube},         {"dcell", Family::DCell},
+      {"dragonfly", Family::Dragonfly}, {"fattree", Family::FatTree},
+      {"fbf", Family::FlattenedBF},     {"hypercube", Family::Hypercube},
+      {"hyperx", Family::HyperX},       {"jellyfish", Family::Jellyfish},
+      {"longhop", Family::LongHop},     {"slimfly", Family::SlimFly}};
+  const std::string name = argc > 1 ? argv[1] : "hypercube";
+  const int target = argc > 2 ? std::atoi(argv[2]) : 64;
+  const auto it = by_name.find(name);
+  if (it == by_name.end()) {
+    std::cerr << "unknown family '" << name << "'\n";
+    return 1;
+  }
+
+  const Network net = family_representative(it->second, target, /*seed=*/1);
+  std::cout << "Network: " << net.name << " — " << net.graph.num_nodes()
+            << " switches, " << net.graph.num_edges() << " links, "
+            << net.total_servers() << " servers\n\n";
+
+  mcf::SolveOptions opts;
+  opts.epsilon = 0.04;
+  const double a2a =
+      mcf::compute_throughput(net, all_to_all(net), opts).throughput;
+  const double bound = mcf::theorem2_lower_bound(a2a);
+
+  Table table({"traffic matrix", "throughput", "vs lower bound"});
+  const auto add = [&](const TrafficMatrix& tm) {
+    const double thr = mcf::compute_throughput(net, tm, opts).throughput;
+    table.add_row({tm.name, Table::fmt(thr), Table::fmt(thr / bound, 2) + "x"});
+    return thr;
+  };
+  add(all_to_all(net));
+  add(random_matching(net, 5, 7));
+  add(random_matching(net, 1, 7));
+  const TrafficMatrix lm = longest_matching(net);
+  const double lm_thr = add(lm);
+  table.print(std::cout);
+
+  const cuts::SparseCutSurvey cut = cuts::best_sparse_cut(net.graph, lm);
+  std::cout << "\nTheorem 2 lower bound:        " << Table::fmt(bound)
+            << "\nLM distance to lower bound:   "
+            << Table::fmt(100.0 * (lm_thr - bound) / bound, 1) << "%"
+            << "\nBest sparse cut (upper bnd):  "
+            << Table::fmt(cut.best.sparsity) << "  [found by "
+            << cut.best.method << "]\n";
+  return 0;
+}

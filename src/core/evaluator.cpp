@@ -1,0 +1,37 @@
+#include "core/evaluator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "topo/jellyfish.h"
+#include "util/rng.h"
+
+namespace tb {
+
+RelativeResult relative_throughput(const Network& net, const TrafficMatrix& tm,
+                                   const RelativeOptions& opts) {
+  if (opts.random_trials < 1) {
+    throw std::invalid_argument("relative_throughput: trials >= 1");
+  }
+  RelativeResult res;
+  res.topo_throughput = mcf::compute_throughput(net, tm, opts.solve).throughput;
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(opts.random_trials));
+  for (int trial = 0; trial < opts.random_trials; ++trial) {
+    const Network rnd = make_same_equipment_random(
+        net, mix_seed(opts.seed, static_cast<std::uint64_t>(trial) + 1));
+    samples.push_back(mcf::compute_throughput(rnd, tm, opts.solve).throughput);
+  }
+  res.random_throughput = summarize(samples);
+  if (res.random_throughput.mean <= 0.0) {
+    throw std::runtime_error("relative_throughput: random graph throughput 0");
+  }
+  res.relative = res.topo_throughput / res.random_throughput.mean;
+  // First-order CI propagation of the denominator uncertainty.
+  res.relative_ci95 =
+      res.relative * res.random_throughput.ci95 / res.random_throughput.mean;
+  return res;
+}
+
+}  // namespace tb

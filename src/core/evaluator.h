@@ -1,0 +1,36 @@
+// Relative throughput (paper §IV): to compare networks built from
+// different equipment, a network's throughput is normalized by that of a
+// uniform-random graph built with *precisely the same equipment* — same
+// nodes, same per-node link counts, same server placement — under the same
+// traffic matrix. Each data point averages several random-graph samples
+// and carries a 95% confidence interval, as in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "mcf/throughput.h"
+#include "tm/traffic_matrix.h"
+#include "topo/network.h"
+#include "util/stats.h"
+
+namespace tb {
+
+struct RelativeOptions {
+  int random_trials = 3;          ///< random-graph samples per data point
+  std::uint64_t seed = 42;        ///< base seed for the samples
+  mcf::SolveOptions solve;        ///< forwarded to the throughput solver
+};
+
+struct RelativeResult {
+  double topo_throughput = 0.0;    ///< throughput of the network itself
+  Summary random_throughput;       ///< over the same-equipment random graphs
+  double relative = 0.0;           ///< topo / mean(random)
+  double relative_ci95 = 0.0;      ///< CI propagated from the random trials
+};
+
+/// Throughput of `net` under `tm`, normalized by same-equipment random
+/// graphs evaluated under the *same* TM (endpoints map one-to-one).
+RelativeResult relative_throughput(const Network& net, const TrafficMatrix& tm,
+                                   const RelativeOptions& opts = {});
+
+}  // namespace tb

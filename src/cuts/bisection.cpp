@@ -1,0 +1,76 @@
+#include "cuts/bisection.h"
+
+#include <limits>
+#include <vector>
+
+#include "graph/partition.h"
+
+namespace tb::cuts {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Enumerate all balanced subsets containing node 0 (to halve the space)
+/// and call visit(side).
+template <typename Visit>
+void for_each_balanced(int n, Visit&& visit) {
+  const int half = n / 2;
+  std::vector<int> members;  // nodes on side 1, node 0 always on side 0
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 0);
+  const auto rec = [&](auto&& self, int next) -> void {
+    if (static_cast<int>(members.size()) == half) {
+      visit(side);
+      return;
+    }
+    if (n - next < half - static_cast<int>(members.size())) return;
+    for (int v = next; v < n; ++v) {
+      members.push_back(v);
+      side[static_cast<std::size_t>(v)] = 1;
+      self(self, v + 1);
+      side[static_cast<std::size_t>(v)] = 0;
+      members.pop_back();
+    }
+  };
+  rec(rec, 1);
+}
+
+}  // namespace
+
+CutResult bisection_sparsity(const Graph& g, const TrafficMatrix& tm,
+                             int exact_max, int kl_restarts,
+                             std::uint64_t seed) {
+  const int n = g.num_nodes();
+  CutResult best;
+  best.method = "bisection";
+  best.sparsity = kInf;
+  if (n <= exact_max) {
+    for_each_balanced(n, [&](const std::vector<std::uint8_t>& side) {
+      const double s = cut_sparsity(g, tm, side);
+      if (s < best.sparsity) {
+        best.sparsity = s;
+        best.side = side;
+      }
+    });
+  } else {
+    const BipartitionResult part = min_bisection(g, kl_restarts, seed);
+    best.side = part.side;
+    best.sparsity = cut_sparsity(g, tm, part.side);
+  }
+  return best;
+}
+
+double bisection_capacity(const Graph& g, int exact_max, int kl_restarts,
+                          std::uint64_t seed) {
+  const int n = g.num_nodes();
+  if (n <= exact_max) {
+    double best = kInf;
+    for_each_balanced(n, [&](const std::vector<std::uint8_t>& side) {
+      const double c = cut_capacity(g, side);
+      if (c < best) best = c;
+    });
+    return best;
+  }
+  return min_bisection(g, kl_restarts, seed).cut_capacity;
+}
+
+}  // namespace tb::cuts

@@ -1,0 +1,28 @@
+// Bisection bandwidth (paper §II-B): the capacity of the worst-case cut
+// dividing the network into two equal halves. NP-hard, so:
+//  * n <= `exact_max`: exhaustive enumeration of balanced subsets,
+//    minimizing TM-relative sparsity directly;
+//  * larger n: Kernighan-Lin capacity minimization over random restarts,
+//    reported as sparsity against the TM (the units the paper compares
+//    against throughput).
+#pragma once
+
+#include <cstdint>
+
+#include "cuts/sparsest_cut.h"
+#include "graph/graph.h"
+#include "tm/traffic_matrix.h"
+
+namespace tb::cuts {
+
+/// TM-relative bisection: min sparsity over balanced (n/2, n/2 +-1) cuts.
+CutResult bisection_sparsity(const Graph& g, const TrafficMatrix& tm,
+                             int exact_max = 18, int kl_restarts = 8,
+                             std::uint64_t seed = 1);
+
+/// Raw bisection bandwidth in capacity units (no TM): min capacity over
+/// balanced cuts.
+double bisection_capacity(const Graph& g, int exact_max = 18,
+                          int kl_restarts = 8, std::uint64_t seed = 1);
+
+}  // namespace tb::cuts

@@ -1,0 +1,179 @@
+#include "cuts/sparsest_cut.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+#include "graph/spectral.h"
+
+namespace tb::cuts {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Track the best (lowest-sparsity) cut seen.
+struct Best {
+  double sparsity = kInf;
+  std::vector<std::uint8_t> side;
+
+  void offer(double s, const std::vector<std::uint8_t>& candidate) {
+    if (s < sparsity) {
+      sparsity = s;
+      side = candidate;
+    }
+  }
+};
+
+CutResult finish(Best best, const char* method) {
+  CutResult r;
+  r.sparsity = best.sparsity;
+  r.side = std::move(best.side);
+  r.method = method;
+  return r;
+}
+
+}  // namespace
+
+double cut_sparsity(const Graph& g, const TrafficMatrix& tm,
+                    const std::vector<std::uint8_t>& side) {
+  double cap_fwd = 0.0;   // arcs S -> S~
+  double cap_rev = 0.0;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const std::uint8_t su = side[static_cast<std::size_t>(g.edge_u(e))];
+    const std::uint8_t sv = side[static_cast<std::size_t>(g.edge_v(e))];
+    if (su != sv) {
+      cap_fwd += g.edge_cap(e);
+      cap_rev += g.edge_cap(e);
+    }
+  }
+  double dem_fwd = 0.0;  // demand S -> S~ (S = side 0)
+  double dem_rev = 0.0;
+  for (const Demand& d : tm.demands) {
+    const std::uint8_t ss = side[static_cast<std::size_t>(d.src)];
+    const std::uint8_t sd = side[static_cast<std::size_t>(d.dst)];
+    if (ss == sd) continue;
+    if (ss == 0) {
+      dem_fwd += d.amount;
+    } else {
+      dem_rev += d.amount;
+    }
+  }
+  double best = kInf;
+  if (dem_fwd > 0.0) best = std::min(best, cap_fwd / dem_fwd);
+  if (dem_rev > 0.0) best = std::min(best, cap_rev / dem_rev);
+  return best;
+}
+
+CutResult sparsest_cut_brute_force(const Graph& g, const TrafficMatrix& tm,
+                                   long max_cuts) {
+  const int n = g.num_nodes();
+  Best best;
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 0);
+  // Node n-1 pinned to side 1 to halve the space; subsets enumerated in
+  // binary counting order over the remaining n-1 bits, capped at max_cuts.
+  const long total =
+      n - 1 >= 62 ? std::numeric_limits<long>::max()
+                  : (1L << (n - 1)) - 1;  // exclude the empty set
+  const long cuts = std::min(total, max_cuts);
+  side[static_cast<std::size_t>(n - 1)] = 1;
+  for (long mask = 1; mask <= cuts; ++mask) {
+    for (int v = 0; v < n - 1; ++v) {
+      side[static_cast<std::size_t>(v)] =
+          static_cast<std::uint8_t>((mask >> v) & 1);
+    }
+    best.offer(cut_sparsity(g, tm, side), side);
+  }
+  return finish(std::move(best), "brute-force");
+}
+
+CutResult sparsest_cut_one_node(const Graph& g, const TrafficMatrix& tm) {
+  const int n = g.num_nodes();
+  Best best;
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    side.assign(static_cast<std::size_t>(n), 0);
+    side[static_cast<std::size_t>(v)] = 1;
+    best.offer(cut_sparsity(g, tm, side), side);
+  }
+  return finish(std::move(best), "one-node");
+}
+
+CutResult sparsest_cut_two_node(const Graph& g, const TrafficMatrix& tm) {
+  const int n = g.num_nodes();
+  Best best;
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 0);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      side.assign(static_cast<std::size_t>(n), 0);
+      side[static_cast<std::size_t>(u)] = 1;
+      side[static_cast<std::size_t>(v)] = 1;
+      best.offer(cut_sparsity(g, tm, side), side);
+    }
+  }
+  return finish(std::move(best), "two-node");
+}
+
+CutResult sparsest_cut_expanding(const Graph& g, const TrafficMatrix& tm) {
+  const int n = g.num_nodes();
+  Best best;
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    const std::vector<int> dist = bfs_distances(g, v);
+    const int max_d = *std::max_element(dist.begin(), dist.end());
+    for (int radius = 0; radius < max_d; ++radius) {
+      for (int u = 0; u < n; ++u) {
+        side[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(u)] <= radius ? 1 : 0;
+      }
+      best.offer(cut_sparsity(g, tm, side), side);
+    }
+  }
+  return finish(std::move(best), "expanding");
+}
+
+CutResult sparsest_cut_eigenvector(const Graph& g, const TrafficMatrix& tm) {
+  const int n = g.num_nodes();
+  const SpectralResult spec = fiedler_vector(g);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&spec](int a, int b) {
+    return spec.vector[static_cast<std::size_t>(a)] <
+           spec.vector[static_cast<std::size_t>(b)];
+  });
+  Best best;
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 0);
+  for (int prefix = 1; prefix < n; ++prefix) {
+    side[static_cast<std::size_t>(order[static_cast<std::size_t>(prefix - 1)])] = 1;
+    best.offer(cut_sparsity(g, tm, side), side);
+  }
+  return finish(std::move(best), "eigenvector");
+}
+
+SparseCutSurvey best_sparse_cut(const Graph& g, const TrafficMatrix& tm,
+                                long brute_force_cap) {
+  SparseCutSurvey survey;
+  std::vector<CutResult> results;
+  results.push_back(sparsest_cut_brute_force(g, tm, brute_force_cap));
+  results.push_back(sparsest_cut_one_node(g, tm));
+  results.push_back(sparsest_cut_two_node(g, tm));
+  results.push_back(sparsest_cut_expanding(g, tm));
+  results.push_back(sparsest_cut_eigenvector(g, tm));
+
+  survey.best.sparsity = kInf;
+  for (const CutResult& r : results) {
+    survey.per_method.emplace_back(r.method, r.sparsity);
+    if (r.sparsity < survey.best.sparsity) survey.best = r;
+  }
+  for (const CutResult& r : results) {
+    if (r.sparsity <= survey.best.sparsity * (1.0 + 1e-9)) {
+      survey.winners.push_back(r.method);
+    }
+  }
+  survey.best.method = survey.winners.empty() ? "none" : survey.winners.front();
+  return survey;
+}
+
+}  // namespace tb::cuts

@@ -1,0 +1,61 @@
+// Sparse-cut estimation (paper §II-B, Appendix C).
+//
+// The sparsity of a cut S w.r.t. a TM is the ratio of the capacity crossing
+// the cut to the demand crossing it; every cut upper-bounds throughput.
+// Computing the sparsest cut is NP-hard, so the paper runs a battery of
+// heuristics and calls the best value found the "sparse cut":
+//   * capped brute force (first 10,000 subsets),
+//   * one-node cuts,
+//   * two-node cuts,
+//   * expanding (BFS-ball) cuts,
+//   * an eigenvector sweep over the normalized-Laplacian Fiedler vector.
+// Table II reports which estimator finds the winning cut; Fig 3 plots the
+// winner against LP throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tm/traffic_matrix.h"
+
+namespace tb::cuts {
+
+struct CutResult {
+  double sparsity = 0.0;           ///< capacity / demand across the cut
+  std::vector<std::uint8_t> side;  ///< 0/1 membership
+  std::string method;
+};
+
+/// Sparsity of one cut. Directed: min over both orientations of
+/// (arc capacity crossing) / (demand crossing); infinity when no demand
+/// crosses. `side` holds 0/1 per node.
+double cut_sparsity(const Graph& g, const TrafficMatrix& tm,
+                    const std::vector<std::uint8_t>& side);
+
+/// Exhaustive enumeration capped at `max_cuts` subsets (Appendix C caps at
+/// 10,000). Exact for graphs with 2^(n-1) - 1 <= max_cuts.
+CutResult sparsest_cut_brute_force(const Graph& g, const TrafficMatrix& tm,
+                                   long max_cuts = 10'000);
+
+CutResult sparsest_cut_one_node(const Graph& g, const TrafficMatrix& tm);
+CutResult sparsest_cut_two_node(const Graph& g, const TrafficMatrix& tm);
+
+/// BFS balls of every radius around every node.
+CutResult sparsest_cut_expanding(const Graph& g, const TrafficMatrix& tm);
+
+/// Sweep cuts over the Fiedler-vector node ordering.
+CutResult sparsest_cut_eigenvector(const Graph& g, const TrafficMatrix& tm);
+
+struct SparseCutSurvey {
+  CutResult best;
+  std::vector<std::pair<std::string, double>> per_method;  ///< method -> value
+  std::vector<std::string> winners;  ///< methods matching the best value
+};
+
+/// Run the full heuristic battery (Appendix C) and report the best cut.
+SparseCutSurvey best_sparse_cut(const Graph& g, const TrafficMatrix& tm,
+                                long brute_force_cap = 10'000);
+
+}  // namespace tb::cuts

@@ -1,0 +1,135 @@
+#include "graph/algorithms.h"
+
+#include <cassert>
+#include <queue>
+
+namespace tb {
+
+std::vector<int> bfs_distances(const Graph& g, int src) {
+  assert(g.finalized());
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
+  std::vector<int> frontier;
+  frontier.push_back(src);
+  dist[static_cast<std::size_t>(src)] = 0;
+  std::vector<int> next;
+  int level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const int u : frontier) {
+      for (const int a : g.out_arcs(u)) {
+        const int v = g.arc_to(a);
+        if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+          dist[static_cast<std::size_t>(v)] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<int> all_pairs_distances(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<int> all(n * n);
+  for (int s = 0; s < g.num_nodes(); ++s) {
+    const std::vector<int> d = bfs_distances(g, s);
+    std::copy(d.begin(), d.end(), all.begin() + static_cast<std::ptrdiff_t>(
+                                                    static_cast<std::size_t>(s) * n));
+  }
+  return all;
+}
+
+void dijkstra(const Graph& g, int src, std::span<const double> len,
+              std::vector<double>& dist, std::vector<int>& parent_arc) {
+  assert(g.finalized());
+  assert(static_cast<int>(len.size()) == g.num_arcs());
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  dist.assign(n, std::numeric_limits<double>::infinity());
+  parent_arc.assign(n, -1);
+  using Entry = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (const int a : g.out_arcs(u)) {
+      const int v = g.arc_to(a);
+      const double nd = d + len[static_cast<std::size_t>(a)];
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        parent_arc[static_cast<std::size_t>(v)] = a;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const std::vector<int> d = bfs_distances(g, 0);
+  for (const int x : d) {
+    if (x == kUnreachable) return false;
+  }
+  return true;
+}
+
+int diameter(const Graph& g) {
+  int diam = 0;
+  for (int s = 0; s < g.num_nodes(); ++s) {
+    const std::vector<int> d = bfs_distances(g, s);
+    for (const int x : d) {
+      if (x == kUnreachable) return kUnreachable;
+      diam = std::max(diam, x);
+    }
+  }
+  return diam;
+}
+
+double average_shortest_path_length(const Graph& g) {
+  const int n = g.num_nodes();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (int s = 0; s < n; ++s) {
+    const std::vector<int> d = bfs_distances(g, s);
+    for (int t = 0; t < n; ++t) {
+      if (t == s) continue;
+      assert(d[static_cast<std::size_t>(t)] != kUnreachable);
+      sum += d[static_cast<std::size_t>(t)];
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+std::vector<int> connected_components(const Graph& g, int* num_components) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<int> comp(n, -1);
+  int count = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < g.num_nodes(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) continue;
+    comp[static_cast<std::size_t>(s)] = count;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (const int a : g.out_arcs(u)) {
+        const int v = g.arc_to(a);
+        if (comp[static_cast<std::size_t>(v)] == -1) {
+          comp[static_cast<std::size_t>(v)] = count;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++count;
+  }
+  if (num_components != nullptr) *num_components = count;
+  return comp;
+}
+
+}  // namespace tb

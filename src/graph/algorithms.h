@@ -1,0 +1,47 @@
+// Classic graph algorithms used throughout: BFS / Dijkstra shortest paths,
+// all-pairs distances, connectivity, diameter, and average path length
+// (the Slim Fly path-length study of Fig 9 and the volumetric throughput
+// bound both consume these).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tb {
+
+constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// Hop distances from `src` to every node (kUnreachable if disconnected).
+std::vector<int> bfs_distances(const Graph& g, int src);
+
+/// All-pairs hop distance matrix, row-major n x n. O(n * (n + m)).
+std::vector<int> all_pairs_distances(const Graph& g);
+
+/// Convenience accessor into an all_pairs_distances() result.
+inline int apd_at(std::span<const int> d, int n, int u, int v) {
+  return d[static_cast<std::size_t>(u) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(v)];
+}
+
+/// Dijkstra over arc lengths `len` (indexed by arc id, length >= 0).
+/// Writes distances to `dist` and the incoming arc of each node's shortest
+/// path tree to `parent_arc` (-1 for src / unreachable). Buffers are resized.
+void dijkstra(const Graph& g, int src, std::span<const double> len,
+              std::vector<double>& dist, std::vector<int>& parent_arc);
+
+/// True if all nodes are reachable from node 0 (empty graph is connected).
+bool is_connected(const Graph& g);
+
+/// Longest shortest-path hop count; kUnreachable if disconnected.
+int diameter(const Graph& g);
+
+/// Mean hop distance over all ordered pairs of distinct nodes.
+double average_shortest_path_length(const Graph& g);
+
+/// Connected component id per node, components numbered from 0.
+std::vector<int> connected_components(const Graph& g, int* num_components);
+
+}  // namespace tb

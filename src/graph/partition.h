@@ -1,0 +1,32 @@
+// Kernighan-Lin balanced bipartitioning, used by the bisection-bandwidth
+// estimator: the paper defines bisection bandwidth as the capacity of the
+// worst cut dividing the network into two equal halves, which is NP-hard,
+// so beyond brute-force sizes we minimize the cut with KL refinement over
+// several random starts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tb {
+
+struct BipartitionResult {
+  std::vector<std::uint8_t> side;  ///< 0/1 per node, sides sized n/2 (±1)
+  double cut_capacity = 0.0;       ///< total capacity of edges crossing
+};
+
+/// One KL refinement pass from the given starting assignment (modified in
+/// place); returns the final cut capacity.
+double kernighan_lin_refine(const Graph& g, std::vector<std::uint8_t>& side,
+                            int max_passes = 16);
+
+/// Best balanced bipartition over `restarts` random starts + KL refinement.
+BipartitionResult min_bisection(const Graph& g, int restarts = 8,
+                                std::uint64_t seed = 1);
+
+/// Capacity crossing the given 0/1 node assignment.
+double cut_capacity(const Graph& g, const std::vector<std::uint8_t>& side);
+
+}  // namespace tb

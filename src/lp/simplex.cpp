@@ -1,0 +1,323 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tb::lp {
+namespace {
+
+/// Internal standard form: min c'x, A x = b (b >= 0), x >= 0. Artificial
+/// variables carry a Big-M cost; the basis inverse is kept dense.
+struct Standardized {
+  int m = 0;                      // rows
+  int n = 0;                      // total columns (struct + slack + artificial)
+  int num_struct = 0;             // original variables
+  std::vector<std::vector<std::pair<int, double>>> cols;  // sparse columns
+  std::vector<double> cost;
+  std::vector<double> b;
+  std::vector<double> row_flip;   // +1/-1 applied to original row i
+  std::vector<int> artificial_of_row;  // column id or -1
+  double big_m = 0.0;
+};
+
+Standardized standardize(const Problem& p) {
+  Standardized s;
+  s.m = static_cast<int>(p.rows.size());
+  s.num_struct = p.num_vars;
+  s.cols.resize(static_cast<std::size_t>(p.num_vars));
+  s.cost.resize(static_cast<std::size_t>(p.num_vars));
+  double max_abs_cost = 1.0;
+  for (int j = 0; j < p.num_vars; ++j) {
+    const double c = p.objective[static_cast<std::size_t>(j)];
+    s.cost[static_cast<std::size_t>(j)] = p.maximize ? -c : c;
+    max_abs_cost = std::max(max_abs_cost, std::abs(c));
+  }
+  s.b.resize(static_cast<std::size_t>(s.m));
+  s.row_flip.assign(static_cast<std::size_t>(s.m), 1.0);
+  s.artificial_of_row.assign(static_cast<std::size_t>(s.m), -1);
+
+  // First pass: normalized senses and rhs (b >= 0), structural coefficients.
+  std::vector<Sense> sense(static_cast<std::size_t>(s.m));
+  for (int i = 0; i < s.m; ++i) {
+    const Row& row = p.rows[static_cast<std::size_t>(i)];
+    double flip = 1.0;
+    Sense sn = row.sense;
+    if (row.rhs < 0.0) {
+      flip = -1.0;
+      if (sn == Sense::LE) {
+        sn = Sense::GE;
+      } else if (sn == Sense::GE) {
+        sn = Sense::LE;
+      }
+    }
+    s.row_flip[static_cast<std::size_t>(i)] = flip;
+    sense[static_cast<std::size_t>(i)] = sn;
+    s.b[static_cast<std::size_t>(i)] = row.rhs * flip;
+    for (const auto& [var, coef] : row.terms) {
+      if (var < 0 || var >= p.num_vars) {
+        throw std::out_of_range("lp::solve: variable index out of range");
+      }
+      if (coef != 0.0) {
+        s.cols[static_cast<std::size_t>(var)].emplace_back(i, coef * flip);
+      }
+    }
+  }
+
+  // Merge duplicate terms within a column (callers may emit repeats).
+  for (auto& col : s.cols) {
+    std::sort(col.begin(), col.end());
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (w > 0 && col[w - 1].first == col[r].first) {
+        col[w - 1].second += col[r].second;
+      } else {
+        col[w++] = col[r];
+      }
+    }
+    col.resize(w);
+  }
+
+  // Slack / surplus / artificial columns.
+  s.big_m = 1e7 * max_abs_cost;
+  for (int i = 0; i < s.m; ++i) {
+    const Sense sn = sense[static_cast<std::size_t>(i)];
+    if (sn == Sense::LE) {
+      s.cols.push_back({{i, 1.0}});
+      s.cost.push_back(0.0);
+    } else if (sn == Sense::GE) {
+      s.cols.push_back({{i, -1.0}});
+      s.cost.push_back(0.0);
+    }
+  }
+  for (int i = 0; i < s.m; ++i) {
+    const Sense sn = sense[static_cast<std::size_t>(i)];
+    const bool needs_artificial = sn != Sense::LE;
+    if (needs_artificial) {
+      s.artificial_of_row[static_cast<std::size_t>(i)] =
+          static_cast<int>(s.cols.size());
+      s.cols.push_back({{i, 1.0}});
+      s.cost.push_back(s.big_m);
+    }
+  }
+  s.n = static_cast<int>(s.cols.size());
+  return s;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::Optimal: return "optimal";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+    case Status::IterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+Result solve(const Problem& p, const Options& opts) {
+  if (static_cast<int>(p.objective.size()) != p.num_vars) {
+    throw std::invalid_argument("lp::solve: objective size != num_vars");
+  }
+  Result res;
+  Standardized s = standardize(p);
+  const int m = s.m;
+  const int n = s.n;
+  if (m == 0) {
+    // Only x >= 0: optimum is 0 unless some improving direction exists.
+    res.x.assign(static_cast<std::size_t>(p.num_vars), 0.0);
+    for (int j = 0; j < p.num_vars; ++j) {
+      const double c = s.cost[static_cast<std::size_t>(j)];
+      if (c < -opts.cost_tol) {
+        res.status = Status::Unbounded;
+        return res;
+      }
+    }
+    res.status = Status::Optimal;
+    res.objective = 0.0;
+    return res;
+  }
+
+  // Initial basis: per row, its slack if one exists with +1 coefficient,
+  // else its artificial.
+  std::vector<int> basis(static_cast<std::size_t>(m), -1);
+  {
+    for (int j = s.num_struct; j < n; ++j) {
+      const auto& col = s.cols[static_cast<std::size_t>(j)];
+      if (col.size() == 1 && col[0].second == 1.0) {
+        const int i = col[0].first;
+        if (basis[static_cast<std::size_t>(i)] == -1) {
+          basis[static_cast<std::size_t>(i)] = j;
+        }
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      if (basis[static_cast<std::size_t>(i)] == -1) {
+        throw std::logic_error("lp::solve: missing initial basis column");
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> in_basis(static_cast<std::size_t>(n), 0);
+  for (const int j : basis) in_basis[static_cast<std::size_t>(j)] = 1;
+
+  // Dense basis inverse, row-major. Initially identity (slack/artificial
+  // columns are unit vectors).
+  std::vector<double> binv(static_cast<std::size_t>(m) *
+                               static_cast<std::size_t>(m),
+                           0.0);
+  for (int i = 0; i < m; ++i) {
+    binv[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(i)] = 1.0;
+  }
+  std::vector<double> xb = s.b;  // basic variable values
+
+  const long max_iter = opts.max_iterations > 0
+                            ? opts.max_iterations
+                            : 50L * (m + n) + 5000L;
+  std::vector<double> y(static_cast<std::size_t>(m));
+  std::vector<double> d(static_cast<std::size_t>(m));
+
+  long degenerate_streak = 0;
+  bool bland = false;
+
+  for (res.iterations = 0; res.iterations < max_iter; ++res.iterations) {
+    // BTRAN: y = cB' * Binv.
+    for (int j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < m; ++i) {
+        acc += s.cost[static_cast<std::size_t>(basis[static_cast<std::size_t>(i)])] *
+               binv[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)];
+      }
+      y[static_cast<std::size_t>(j)] = acc;
+    }
+
+    // Pricing.
+    int entering = -1;
+    double best_rc = -opts.cost_tol;
+    for (int j = 0; j < n; ++j) {
+      if (in_basis[static_cast<std::size_t>(j)]) continue;
+      double rc = s.cost[static_cast<std::size_t>(j)];
+      for (const auto& [i, v] : s.cols[static_cast<std::size_t>(j)]) {
+        rc -= y[static_cast<std::size_t>(i)] * v;
+      }
+      if (bland) {
+        if (rc < -opts.cost_tol) {
+          entering = j;
+          break;
+        }
+      } else if (rc < best_rc) {
+        best_rc = rc;
+        entering = j;
+      }
+    }
+    if (entering < 0) break;  // optimal
+
+    // FTRAN: d = Binv * A[entering].
+    std::fill(d.begin(), d.end(), 0.0);
+    for (const auto& [i, v] : s.cols[static_cast<std::size_t>(entering)]) {
+      for (int r = 0; r < m; ++r) {
+        d[static_cast<std::size_t>(r)] +=
+            v * binv[static_cast<std::size_t>(r) * m + static_cast<std::size_t>(i)];
+      }
+    }
+
+    // Ratio test.
+    int leave = -1;
+    double theta = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      const double di = d[static_cast<std::size_t>(i)];
+      if (di > opts.pivot_tol) {
+        const double ratio = xb[static_cast<std::size_t>(i)] / di;
+        const bool better =
+            ratio < theta - 1e-12 ||
+            (ratio < theta + 1e-12 && leave >= 0 &&
+             (bland ? basis[static_cast<std::size_t>(i)] <
+                          basis[static_cast<std::size_t>(leave)]
+                    : di > d[static_cast<std::size_t>(leave)]));
+        if (leave < 0 || better) {
+          theta = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave < 0) {
+      res.status = Status::Unbounded;
+      return res;
+    }
+
+    if (theta < 1e-11) {
+      if (++degenerate_streak > 2L * (m + n)) bland = true;
+    } else {
+      degenerate_streak = 0;
+      bland = false;
+    }
+
+    // Pivot: update xb and Binv.
+    const double piv = d[static_cast<std::size_t>(leave)];
+    for (int i = 0; i < m; ++i) {
+      if (i == leave) continue;
+      xb[static_cast<std::size_t>(i)] -= theta * d[static_cast<std::size_t>(i)];
+      if (xb[static_cast<std::size_t>(i)] < 0.0 &&
+          xb[static_cast<std::size_t>(i)] > -1e-9) {
+        xb[static_cast<std::size_t>(i)] = 0.0;
+      }
+    }
+    xb[static_cast<std::size_t>(leave)] = theta;
+
+    double* lrow = &binv[static_cast<std::size_t>(leave) * m];
+    for (int j = 0; j < m; ++j) lrow[j] /= piv;
+    for (int i = 0; i < m; ++i) {
+      if (i == leave) continue;
+      const double f = d[static_cast<std::size_t>(i)];
+      if (f == 0.0) continue;
+      double* row = &binv[static_cast<std::size_t>(i) * m];
+      for (int j = 0; j < m; ++j) row[j] -= f * lrow[j];
+    }
+
+    in_basis[static_cast<std::size_t>(basis[static_cast<std::size_t>(leave)])] = 0;
+    basis[static_cast<std::size_t>(leave)] = entering;
+    in_basis[static_cast<std::size_t>(entering)] = 1;
+  }
+
+  if (res.iterations >= max_iter) {
+    res.status = Status::IterationLimit;
+    return res;
+  }
+
+  // Extract solution; detect infeasibility (artificial basic at > 0).
+  res.x.assign(static_cast<std::size_t>(p.num_vars), 0.0);
+  double obj = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const int j = basis[static_cast<std::size_t>(i)];
+    const double v = xb[static_cast<std::size_t>(i)];
+    if (j >= s.num_struct &&
+        s.artificial_of_row[static_cast<std::size_t>(
+            s.cols[static_cast<std::size_t>(j)][0].first)] == j &&
+        v > 1e-7) {
+      res.status = Status::Infeasible;
+      return res;
+    }
+    if (j < p.num_vars) {
+      res.x[static_cast<std::size_t>(j)] = v;
+      obj += p.objective[static_cast<std::size_t>(j)] * v;
+    }
+  }
+  res.objective = obj;
+
+  // Duals for the original rows (y already reflects the final basis; flip
+  // back the sign of rows we negated, and restore the max sense).
+  res.dual.resize(static_cast<std::size_t>(m));
+  const double obj_sign = p.maximize ? -1.0 : 1.0;
+  for (int i = 0; i < m; ++i) {
+    res.dual[static_cast<std::size_t>(i)] =
+        obj_sign * y[static_cast<std::size_t>(i)] *
+        s.row_flip[static_cast<std::size_t>(i)];
+  }
+  res.status = Status::Optimal;
+  return res;
+}
+
+}  // namespace tb::lp

@@ -1,0 +1,67 @@
+// A self-contained linear-programming solver (two-phase revised simplex).
+//
+// The paper computes throughput with Gurobi; Gurobi is proprietary, so this
+// module provides the exact-LP substrate from scratch. It is a dense-basis
+// revised simplex with sparse constraint columns, two-phase start, Dantzig
+// pricing with a Bland's-rule anti-cycling fallback, and dual extraction
+// (the duals certify optimality in tests via the sparsest-cut relaxation of
+// Theorem 3).
+//
+// Intended scale: a few thousand rows/columns — exact throughput on small
+// networks, path-restricted LPs (Fig 15), and the Kodialam TM LP. Large
+// instances use the Garg-Konemann engine in src/mcf instead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tb::lp {
+
+enum class Sense { LE, GE, EQ };
+
+/// A constraint: sum_j terms[j].coef * x[terms[j].var] (sense) rhs.
+struct Row {
+  std::vector<std::pair<int, double>> terms;
+  Sense sense = Sense::LE;
+  double rhs = 0.0;
+};
+
+/// LP over variables x >= 0.
+struct Problem {
+  int num_vars = 0;
+  bool maximize = true;
+  std::vector<double> objective;  ///< size num_vars
+  std::vector<Row> rows;
+
+  /// Create a fresh variable with the given objective coefficient.
+  int add_var(double obj_coef) {
+    objective.push_back(obj_coef);
+    return num_vars++;
+  }
+  void add_row(Row r) { rows.push_back(std::move(r)); }
+};
+
+enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct Result {
+  Status status = Status::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;     ///< primal solution, size num_vars
+  std::vector<double> dual;  ///< dual value per input row (sign per sense)
+  long iterations = 0;
+};
+
+struct Options {
+  long max_iterations = 0;   ///< 0 means automatic (50 * (rows + cols) + 5000)
+  double pivot_tol = 1e-9;   ///< minimum magnitude for a pivot element
+  double cost_tol = 1e-8;    ///< reduced-cost optimality tolerance
+};
+
+/// Solve the LP. The returned x satisfies all rows within ~1e-6.
+Result solve(const Problem& p, const Options& opts = {});
+
+const char* status_name(Status s);
+
+}  // namespace tb::lp

@@ -1,0 +1,155 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Minimum-cost assignment via shortest augmenting paths with potentials
+/// (Jonker-Volgenant style; 1-based internal indexing).
+std::vector<int> solve_min_cost(std::span<const double> a, int n) {
+  assert(static_cast<int>(a.size()) == n * n);
+  std::vector<double> u(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<int> p(static_cast<std::size_t>(n) + 1, 0);    // row matched to col j
+  std::vector<int> way(static_cast<std::size_t>(n) + 1, 0);  // augmenting path links
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(n) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(n) + 1, false);
+    do {
+      used[static_cast<std::size_t>(j0)] = true;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const double cur =
+            a[static_cast<std::size_t>(i0 - 1) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(j - 1)] -
+            u[static_cast<std::size_t>(i0)] - v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  for (int j = 1; j <= n; ++j) {
+    match[static_cast<std::size_t>(p[static_cast<std::size_t>(j)] - 1)] = j - 1;
+  }
+  return match;
+}
+
+}  // namespace
+
+std::vector<int> min_weight_perfect_matching(std::span<const double> weight,
+                                             int n) {
+  if (n <= 0) return {};
+  if (static_cast<int>(weight.size()) != n * n) {
+    throw std::invalid_argument("matching: weight matrix must be n x n");
+  }
+  return solve_min_cost(weight, n);
+}
+
+std::vector<int> max_weight_perfect_matching(std::span<const double> weight,
+                                             int n) {
+  if (n <= 0) return {};
+  std::vector<double> neg(weight.size());
+  for (std::size_t i = 0; i < weight.size(); ++i) neg[i] = -weight[i];
+  return min_weight_perfect_matching(neg, n);
+}
+
+double assignment_weight(std::span<const double> weight, int n,
+                         std::span<const int> match) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += weight[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(match[static_cast<std::size_t>(i)])];
+  }
+  return total;
+}
+
+std::vector<int> greedy_matching(std::span<const double> weight, int n,
+                                 bool maximize) {
+  struct Entry {
+    double w;
+    int i;
+    int j;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      entries.push_back({weight[static_cast<std::size_t>(i) *
+                                    static_cast<std::size_t>(n) +
+                                static_cast<std::size_t>(j)],
+                         i, j});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [maximize](const Entry& a, const Entry& b) {
+    if (a.w != b.w) return maximize ? a.w > b.w : a.w < b.w;
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  std::vector<char> col_used(static_cast<std::size_t>(n), false);
+  int assigned = 0;
+  for (const Entry& e : entries) {
+    if (match[static_cast<std::size_t>(e.i)] != -1 ||
+        col_used[static_cast<std::size_t>(e.j)]) {
+      continue;
+    }
+    match[static_cast<std::size_t>(e.i)] = e.j;
+    col_used[static_cast<std::size_t>(e.j)] = true;
+    if (++assigned == n) break;
+  }
+  return match;
+}
+
+std::vector<int> brute_force_matching(std::span<const double> weight, int n,
+                                      bool maximize) {
+  if (n > 10) throw std::invalid_argument("brute_force_matching: n > 10");
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> best = perm;
+  double best_w = assignment_weight(weight, n, perm);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    const double w = assignment_weight(weight, n, perm);
+    if (maximize ? w > best_w : w < best_w) {
+      best_w = w;
+      best = perm;
+    }
+  }
+  return best;
+}
+
+}  // namespace tb

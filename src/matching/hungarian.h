@@ -1,0 +1,36 @@
+// Assignment-problem solvers. The longest-matching near-worst-case TM
+// (paper §II-C) is the maximum-weight perfect matching of the complete
+// bipartite graph whose edge v->w weighs the shortest-path length from v to
+// w; we solve it exactly with the O(n^3) Hungarian algorithm (shortest
+// augmenting paths with dual potentials). A greedy heuristic and an O(n!)
+// brute-force oracle are included for comparison and testing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tb {
+
+/// Exact maximum-weight perfect matching on a dense n x n weight matrix
+/// (row-major). Returns match[i] = column assigned to row i.
+/// O(n^3) time, O(n) extra memory beyond the matrix.
+std::vector<int> max_weight_perfect_matching(std::span<const double> weight,
+                                             int n);
+
+/// Exact minimum-weight version (same algorithm, no negation cost to caller).
+std::vector<int> min_weight_perfect_matching(std::span<const double> weight,
+                                             int n);
+
+/// Total weight of an assignment.
+double assignment_weight(std::span<const double> weight, int n,
+                         std::span<const int> match);
+
+/// Greedy descending-weight matching (2-approximation); for ablations.
+std::vector<int> greedy_matching(std::span<const double> weight, int n,
+                                 bool maximize = true);
+
+/// O(n!) exhaustive oracle; n <= 10. For tests only.
+std::vector<int> brute_force_matching(std::span<const double> weight, int n,
+                                      bool maximize = true);
+
+}  // namespace tb

@@ -1,0 +1,357 @@
+#include "mcf/garg_konemann.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace tb::mcf {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct SourceGroup {
+  int src = 0;
+  std::vector<std::pair<int, double>> sinks;  // (dst, demand)
+  double out_total = 0.0;
+};
+
+/// Dijkstra that stops once all of `targets` are settled (big win for
+/// matching TMs where each source has a single sink). Nodes not settled
+/// keep dist = +inf and parent = -1; every settled sink's tree path passes
+/// only through settled nodes, which is all the routing needs.
+void dijkstra_to_targets(const Graph& g, int src,
+                         const std::vector<double>& len,
+                         const std::vector<std::pair<int, double>>& targets,
+                         std::vector<double>& dist, std::vector<int>& parent,
+                         std::vector<double>& tentative,
+                         std::vector<char>& is_target) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  dist.assign(n, kInf);       // exact distance once settled
+  tentative.assign(n, kInf);  // heap keys
+  parent.assign(n, -1);
+  is_target.assign(n, 0);
+  std::size_t remaining = 0;
+  for (const auto& [t, dem] : targets) {
+    (void)dem;
+    if (!is_target[static_cast<std::size_t>(t)]) {
+      is_target[static_cast<std::size_t>(t)] = 1;
+      ++remaining;
+    }
+  }
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tentative[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty() && remaining > 0) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (dist[static_cast<std::size_t>(u)] < kInf) continue;  // settled
+    dist[static_cast<std::size_t>(u)] = d;
+    if (is_target[static_cast<std::size_t>(u)]) --remaining;
+    for (const int a : g.out_arcs(u)) {
+      const int v = g.arc_to(a);
+      if (dist[static_cast<std::size_t>(v)] < kInf) continue;
+      const double nd = d + len[static_cast<std::size_t>(a)];
+      if (nd < tentative[static_cast<std::size_t>(v)]) {
+        tentative[static_cast<std::size_t>(v)] = nd;
+        parent[static_cast<std::size_t>(v)] = a;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
+                             const GkOptions& opts) {
+  assert(g.finalized());
+  const int num_arcs = g.num_arcs();
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (tm.demands.empty()) {
+    throw std::invalid_argument("max_concurrent_flow: empty traffic matrix");
+  }
+
+  // Group demands by source.
+  std::vector<SourceGroup> groups;
+  {
+    std::vector<int> group_of(n, -1);
+    for (const Demand& d : tm.demands) {
+      if (d.amount <= 0.0 || d.src == d.dst) continue;
+      int& gi = group_of[static_cast<std::size_t>(d.src)];
+      if (gi == -1) {
+        gi = static_cast<int>(groups.size());
+        groups.push_back({d.src, {}, 0.0});
+      }
+      groups[static_cast<std::size_t>(gi)].sinks.emplace_back(d.dst, d.amount);
+      groups[static_cast<std::size_t>(gi)].out_total += d.amount;
+    }
+  }
+  if (groups.empty()) {
+    throw std::invalid_argument("max_concurrent_flow: no routable demands");
+  }
+
+  // Pre-scale so every source's per-phase volume fits the smallest capacity
+  // (one legal GK step per arc per source visit). Throughput scales back.
+  double min_cap = kInf;
+  for (int a = 0; a < num_arcs; ++a) min_cap = std::min(min_cap, g.arc_cap(a));
+  double max_out = 0.0;
+  for (const SourceGroup& grp : groups) max_out = std::max(max_out, grp.out_total);
+  const double demand_scale = max_out > min_cap ? min_cap / max_out : 1.0;
+
+  const double eps = std::clamp(opts.epsilon, 1e-4, 0.3);
+  // Multiplicative step. The classic analysis wants eps/3; since we certify
+  // the primal/dual gap explicitly, a more aggressive step only affects how
+  // fast the certificate closes, not its validity.
+  const double eps_step = eps / 2.0;
+  const double m = static_cast<double>(std::max(1, num_arcs));
+  const double delta = std::pow(m / (1.0 - eps_step), -1.0 / eps_step);
+  const double log_scale = std::log(1.0 / delta) / std::log1p(eps_step);
+
+  std::vector<double> length(static_cast<std::size_t>(num_arcs));
+  double sum_cl = 0.0;  // D(l) = sum_a c(a) * l(a)
+  for (int a = 0; a < num_arcs; ++a) {
+    length[static_cast<std::size_t>(a)] = delta / g.arc_cap(a);
+    sum_cl += delta;
+  }
+
+  std::vector<double> flow(static_cast<std::size_t>(num_arcs), 0.0);
+
+  // Windowed primal: MWU spends its first phases "mixing" toward the
+  // optimal flow pattern; the average over a recent window converges much
+  // faster than the average since phase 0. Snapshots double in the classic
+  // way so total memory stays O(m).
+  std::vector<double> snap_flow(static_cast<std::size_t>(num_arcs), 0.0);
+  long snap_phase = 0;
+
+  // Per-block Dijkstra scratch (fixed block size => deterministic result).
+  const int block = std::max(1, opts.block_size);
+  std::vector<std::vector<double>> dist_buf(static_cast<std::size_t>(block));
+  std::vector<std::vector<int>> parent_buf(static_cast<std::size_t>(block));
+  std::vector<std::vector<double>> tent_buf(static_cast<std::size_t>(block));
+  std::vector<std::vector<char>> target_buf(static_cast<std::size_t>(block));
+
+  // Routing scratch.
+  std::vector<double> node_vol(n, 0.0);
+  std::vector<int> order(n);
+
+  GkResult res;
+  res.upper_bound = kInf;
+  ThreadPool& pool = ThreadPool::shared();
+
+  long phase = 0;
+  long best_window_phases = 0;
+  double best_window_congestion = kInf;
+  bool best_is_window = false;
+  double best_gap_seen = kInf;
+  long last_gap_improvement = 0;
+  bool stop = false;
+  while (!stop && phase < opts.max_phases) {
+    double alpha = 0.0;  // sum_j demand_j * dist_l(s_j, t_j) this phase
+    for (std::size_t g0 = 0; g0 < groups.size();
+         g0 += static_cast<std::size_t>(block)) {
+      const std::size_t g1 =
+          std::min(groups.size(), g0 + static_cast<std::size_t>(block));
+      // Dijkstras against frozen lengths (parallel when a pool exists).
+      const auto run = [&](std::size_t k) {
+        dijkstra_to_targets(g, groups[g0 + k].src, length, groups[g0 + k].sinks,
+                            dist_buf[k], parent_buf[k], tent_buf[k],
+                            target_buf[k]);
+      };
+      if (opts.parallel && pool.size() > 1 && g1 - g0 > 1) {
+        pool.parallel_for(0, g1 - g0, run);
+      } else {
+        for (std::size_t k = 0; k < g1 - g0; ++k) run(k);
+      }
+
+      // Sequential routing in source order.
+      for (std::size_t k = 0; k < g1 - g0; ++k) {
+        const SourceGroup& grp = groups[g0 + k];
+        const std::vector<double>& dist = dist_buf[k];
+        const std::vector<int>& parent = parent_buf[k];
+
+        // Deposit demand at sinks; gather alpha.
+        for (const auto& [dst, demand] : grp.sinks) {
+          const double d_scaled = demand * demand_scale;
+          if (dist[static_cast<std::size_t>(dst)] >= kInf) {
+            throw std::runtime_error(
+                "max_concurrent_flow: demand between disconnected nodes");
+          }
+          alpha += d_scaled * dist[static_cast<std::size_t>(dst)];
+          node_vol[static_cast<std::size_t>(dst)] += d_scaled;
+        }
+
+        // Single-sink fast path (matching TMs): walk the parent chain.
+        if (grp.sinks.size() == 1) {
+          const int dst = grp.sinks[0].first;
+          const double vol = node_vol[static_cast<std::size_t>(dst)];
+          node_vol[static_cast<std::size_t>(dst)] = 0.0;
+          for (int v = dst; v != grp.src;) {
+            const int pa = parent[static_cast<std::size_t>(v)];
+            assert(pa >= 0);
+            flow[static_cast<std::size_t>(pa)] += vol;
+            const double cap = g.arc_cap(pa);
+            const double old_len = length[static_cast<std::size_t>(pa)];
+            const double new_len = old_len * (1.0 + eps_step * vol / cap);
+            length[static_cast<std::size_t>(pa)] = new_len;
+            sum_cl += cap * (new_len - old_len);
+            v = g.arc_from(pa);
+          }
+          continue;
+        }
+
+        // Push volumes up the shortest-path tree in decreasing-distance
+        // order (unsettled nodes keep dist=inf and zero volume).
+        for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<int>(v);
+        std::sort(order.begin(), order.end(), [&dist](int a, int b) {
+          return dist[static_cast<std::size_t>(a)] >
+                 dist[static_cast<std::size_t>(b)];
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+          const int v = order[i];
+          if (v == grp.src) continue;
+          const double vol = node_vol[static_cast<std::size_t>(v)];
+          if (vol <= 0.0) continue;
+          node_vol[static_cast<std::size_t>(v)] = 0.0;
+          const int pa = parent[static_cast<std::size_t>(v)];
+          assert(pa >= 0);
+          const int u = g.arc_from(pa);
+          node_vol[static_cast<std::size_t>(u)] += vol;
+          flow[static_cast<std::size_t>(pa)] += vol;
+          const double cap = g.arc_cap(pa);
+          const double old_len = length[static_cast<std::size_t>(pa)];
+          const double new_len = old_len * (1.0 + eps_step * vol / cap);
+          length[static_cast<std::size_t>(pa)] = new_len;
+          sum_cl += cap * (new_len - old_len);
+        }
+        node_vol[static_cast<std::size_t>(grp.src)] = 0.0;
+      }
+    }
+
+    ++phase;
+    // Dual: alpha used in-phase lengths <= end-of-phase lengths, so
+    // D(l_end)/alpha upper-bounds the scaled OPT — but loosely, since D
+    // grows during the phase. Every few phases, recompute alpha exactly
+    // against the frozen end-of-phase lengths (one extra Dijkstra sweep)
+    // for a tight, still-valid certificate.
+    if (alpha > 0.0) {
+      res.upper_bound = std::min(res.upper_bound, sum_cl / alpha);
+    }
+    if (phase % 5 == 0 || phase <= 3) {
+      double alpha_exact = 0.0;
+      for (const SourceGroup& grp : groups) {
+        dijkstra_to_targets(g, grp.src, length, grp.sinks, dist_buf[0],
+                            parent_buf[0], tent_buf[0], target_buf[0]);
+        for (const auto& [dst, demand] : grp.sinks) {
+          alpha_exact += demand * demand_scale *
+                         dist_buf[0][static_cast<std::size_t>(dst)];
+        }
+      }
+      if (alpha_exact > 0.0) {
+        res.upper_bound = std::min(res.upper_bound, sum_cl / alpha_exact);
+      }
+    }
+
+    // Primal candidates: lifetime average and window average.
+    double cong_total = 0.0;
+    double cong_window = 0.0;
+    for (int a = 0; a < num_arcs; ++a) {
+      const double cap = g.arc_cap(a);
+      cong_total = std::max(cong_total, flow[static_cast<std::size_t>(a)] / cap);
+      cong_window = std::max(cong_window,
+                             (flow[static_cast<std::size_t>(a)] -
+                              snap_flow[static_cast<std::size_t>(a)]) /
+                                 cap);
+    }
+    double primal = 0.0;
+    if (cong_total > 0.0) {
+      primal = static_cast<double>(phase) / cong_total;
+      best_is_window = false;
+    }
+    if (cong_window > 0.0 && phase > snap_phase) {
+      const double pw = static_cast<double>(phase - snap_phase) / cong_window;
+      if (pw > primal) {
+        primal = pw;
+        best_is_window = true;
+        best_window_phases = phase - snap_phase;
+        best_window_congestion = cong_window;
+      }
+    }
+    res.throughput = primal;
+    res.max_congestion = cong_total;
+
+    static const bool trace = [] {
+      const char* s = std::getenv("TOPOBENCH_GK_TRACE");
+      return s != nullptr && s[0] == '1';
+    }();
+    if (trace && phase % 500 == 0) {
+      std::fprintf(stderr,
+                   "[gk-trace] phase=%ld primal=%.5f (win=%d) upper=%.5f "
+                   "D=%.3e\n",
+                   phase, primal, best_is_window ? 1 : 0, res.upper_bound,
+                   sum_cl);
+    }
+
+    if (res.upper_bound < kInf && primal > 0.0) {
+      const double gap = res.upper_bound / primal - 1.0;
+      if (gap < best_gap_seen - 1e-4) {
+        best_gap_seen = gap;
+        last_gap_improvement = phase;
+      }
+    }
+
+    if (res.upper_bound < kInf && primal > 0.0 &&
+        res.upper_bound <= primal * (1.0 + eps)) {
+      stop = true;  // certified (1+eps) gap
+    } else if (sum_cl >= 1.0) {
+      stop = true;  // classic GK termination; theory guarantees (1-3*eps/2)
+    } else if (opts.plateau_guard &&
+               phase - last_gap_improvement >
+                   std::max<long>(500, last_gap_improvement)) {
+      // Plateau guard: the certificate has stopped tightening; return the
+      // best certified pair rather than grinding to the D >= 1 cutoff.
+      // Callers see the true residual gap in upper_bound.
+      stop = true;
+    } else if (phase - snap_phase >= std::max<long>(16, snap_phase)) {
+      snap_flow = flow;
+      snap_phase = phase;
+    }
+  }
+  res.phases = phase;
+
+  if (res.throughput <= 0.0 || !std::isfinite(res.throughput)) {
+    res.throughput = static_cast<double>(phase) / log_scale;
+    best_is_window = false;
+  }
+
+  // Report in the caller's demand units; emit the feasible scaled flow of
+  // whichever window produced the certified primal.
+  res.throughput *= demand_scale;
+  res.upper_bound *= demand_scale;
+  res.arc_flow.resize(static_cast<std::size_t>(num_arcs));
+  if (best_is_window && best_window_congestion > 0.0) {
+    (void)best_window_phases;
+    for (int a = 0; a < num_arcs; ++a) {
+      res.arc_flow[static_cast<std::size_t>(a)] =
+          (flow[static_cast<std::size_t>(a)] -
+           snap_flow[static_cast<std::size_t>(a)]) /
+          best_window_congestion;
+    }
+  } else {
+    const double fs = res.max_congestion > 0.0 ? 1.0 / res.max_congestion : 0.0;
+    for (int a = 0; a < num_arcs; ++a) {
+      res.arc_flow[static_cast<std::size_t>(a)] =
+          flow[static_cast<std::size_t>(a)] * fs;
+    }
+  }
+  return res;
+}
+
+}  // namespace tb::mcf

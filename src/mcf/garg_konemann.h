@@ -1,0 +1,58 @@
+// Garg-Konemann / Fleischer (1-eps)-approximate maximum concurrent flow.
+//
+// Throughput (paper §II-A) is the optimum of the max concurrent flow LP.
+// Beyond a few dozen switches the exact simplex is too slow, so the
+// workhorse is the classic multiplicative-weights FPTAS:
+//
+//   * arc lengths start at delta/c(a); phases route every commodity's
+//     demand along (approximately) shortest paths under the current
+//     lengths, multiplying traversed arc lengths by (1 + eps * vol/c);
+//   * commodities are aggregated by source — one Dijkstra serves all
+//     destinations of a source, and since the TM is pre-scaled so every
+//     source emits <= min-capacity per phase, routing a whole source tree
+//     is one legal GK step per arc;
+//   * a primal/dual pair certifies accuracy: the primal value is
+//     completed_phases / max_congestion (a feasible concurrent flow); the
+//     dual bound is min over phases of D(l)/alpha(l) (every length
+//     function upper-bounds OPT by LP duality). We stop when the certified
+//     gap falls below `epsilon` or the classic D(l) >= 1 criterion fires.
+//
+// Parallelism: within a phase, sources are processed in fixed-size blocks;
+// each block's Dijkstras run on the shared pool against frozen lengths and
+// routing/length updates are applied sequentially in source order. Results
+// are deterministic and independent of the actual thread count (the block
+// size is a constant, not the pool size); block staleness only perturbs
+// path choice, never the primal/dual certificates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tm/traffic_matrix.h"
+
+namespace tb::mcf {
+
+struct GkOptions {
+  double epsilon = 0.05;       ///< target certified relative gap
+  long max_phases = 200'000;   ///< safety cap
+  bool parallel = true;        ///< use the shared thread pool
+  int block_size = 8;          ///< sources per deterministic Dijkstra block
+  /// Stop once the certified gap stops improving (the result still carries
+  /// the true residual gap in upper_bound). Disable for strict-epsilon runs.
+  bool plateau_guard = true;
+};
+
+struct GkResult {
+  double throughput = 0.0;     ///< certified feasible concurrent flow value
+  double upper_bound = 0.0;    ///< certified dual upper bound on OPT
+  long phases = 0;
+  double max_congestion = 0.0; ///< of the raw accumulated flow
+  std::vector<double> arc_flow;///< scaled feasible flow per arc
+};
+
+/// Demands must connect nodes of a connected `g`; amounts > 0.
+GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
+                             const GkOptions& opts = {});
+
+}  // namespace tb::mcf

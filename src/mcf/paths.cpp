@@ -1,0 +1,199 @@
+#include "mcf/paths.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+#include "lp/simplex.h"
+
+namespace tb::mcf {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dijkstra that ignores banned arcs / nodes; returns the arc path or empty.
+Path restricted_shortest_path(const Graph& g, int src, int dst,
+                              const std::set<int>& banned_arcs,
+                              const std::vector<char>& banned_node) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> dist(n, kInf);
+  std::vector<int> parent(n, -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (const int a : g.out_arcs(u)) {
+      const int v = g.arc_to(a);
+      if (banned_node[static_cast<std::size_t>(v)] && v != dst) continue;
+      if (banned_arcs.contains(a)) continue;
+      const double nd = d + 1.0;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        parent[static_cast<std::size_t>(v)] = a;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (!std::isfinite(dist[static_cast<std::size_t>(dst)])) return {};
+  Path path;
+  for (int v = dst; v != src;) {
+    const int a = parent[static_cast<std::size_t>(v)];
+    path.push_back(a);
+    v = g.arc_from(a);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const Graph& g, int src, int dst, int k) {
+  assert(g.finalized());
+  if (src == dst || k <= 0) return {};
+  std::vector<Path> result;
+  std::vector<char> no_ban(static_cast<std::size_t>(g.num_nodes()), 0);
+  {
+    const Path first = restricted_shortest_path(g, src, dst, {}, no_ban);
+    if (first.empty()) return {};
+    result.push_back(first);
+  }
+
+  // Candidate pool ordered by (length, path) for determinism.
+  auto cmp = [](const Path& a, const Path& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& prev = result.back();
+    // Spur from every prefix of the previous path.
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      const int spur_node = g.arc_from(prev[i]);
+      Path root(prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(i));
+
+      std::set<int> banned_arcs;
+      for (const Path& p : result) {
+        if (p.size() > i &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          banned_arcs.insert(p[i]);
+        }
+      }
+      std::vector<char> banned_node(static_cast<std::size_t>(g.num_nodes()), 0);
+      for (const int a : root) {
+        banned_node[static_cast<std::size_t>(g.arc_from(a))] = 1;
+      }
+
+      const Path spur =
+          restricted_shortest_path(g, spur_node, dst, banned_arcs, banned_node);
+      if (spur.empty()) continue;
+      Path total = root;
+      total.insert(total.end(), spur.begin(), spur.end());
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<PathSet> build_path_sets(const Graph& g, const TrafficMatrix& tm,
+                                     int k) {
+  std::vector<PathSet> sets;
+  sets.reserve(tm.demands.size());
+  for (const Demand& d : tm.demands) {
+    PathSet ps;
+    ps.demand = d;
+    ps.paths = k_shortest_paths(g, d.src, d.dst, k);
+    if (ps.paths.empty()) {
+      throw std::logic_error("build_path_sets: no path for demand");
+    }
+    sets.push_back(std::move(ps));
+  }
+  return sets;
+}
+
+double path_restricted_throughput(const Graph& g,
+                                  const std::vector<PathSet>& sets) {
+  lp::Problem prob;
+  prob.maximize = true;
+  const int t_var = prob.add_var(1.0);
+
+  // Per-arc usage rows built incrementally.
+  std::map<int, lp::Row> arc_rows;
+  for (const PathSet& ps : sets) {
+    lp::Row flow_row;  // sum_p x_p - t * demand >= 0
+    flow_row.sense = lp::Sense::GE;
+    flow_row.rhs = 0.0;
+    flow_row.terms.emplace_back(t_var, -ps.demand.amount);
+    for (const Path& p : ps.paths) {
+      const int x = prob.add_var(0.0);
+      flow_row.terms.emplace_back(x, 1.0);
+      for (const int a : p) {
+        lp::Row& row = arc_rows[a];
+        row.terms.emplace_back(x, 1.0);
+      }
+    }
+    prob.add_row(std::move(flow_row));
+  }
+  for (auto& [a, row] : arc_rows) {
+    row.sense = lp::Sense::LE;
+    row.rhs = g.arc_cap(a);
+    prob.add_row(std::move(row));
+  }
+
+  const lp::Result sol = lp::solve(prob);
+  if (sol.status != lp::Status::Optimal) {
+    throw std::runtime_error("path_restricted_throughput: LP not optimal");
+  }
+  return sol.x[static_cast<std::size_t>(t_var)];
+}
+
+CountingEstimate counting_throughput(const Graph& g,
+                                     const std::vector<PathSet>& sets) {
+  // Subflow load per arc: each commodity contributes one subflow per path.
+  std::vector<int> load(static_cast<std::size_t>(g.num_arcs()), 0);
+  for (const PathSet& ps : sets) {
+    for (const Path& p : ps.paths) {
+      for (const int a : p) ++load[static_cast<std::size_t>(a)];
+    }
+  }
+  CountingEstimate est;
+  est.per_flow.reserve(sets.size());
+  est.minimum = kInf;
+  double sum = 0.0;
+  for (const PathSet& ps : sets) {
+    double flow_rate = 0.0;
+    for (const Path& p : ps.paths) {
+      int worst = 1;
+      for (const int a : p) {
+        worst = std::max(worst, load[static_cast<std::size_t>(a)]);
+      }
+      flow_rate += g.arc_cap(p.front()) > 0 ? 1.0 / worst : 0.0;
+    }
+    // Rate is per subflow of demand/|paths|; normalize to the flow's demand.
+    flow_rate = std::min(flow_rate, 1.0);
+    est.per_flow.push_back(flow_rate);
+    est.minimum = std::min(est.minimum, flow_rate);
+    sum += flow_rate;
+  }
+  est.average = sets.empty() ? 0.0 : sum / static_cast<double>(sets.size());
+  if (!std::isfinite(est.minimum)) est.minimum = 0.0;
+  return est;
+}
+
+}  // namespace tb::mcf

@@ -1,0 +1,154 @@
+#include "mcf/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+
+namespace tb::mcf {
+namespace {
+
+enum class Split { SinglePath, Ecmp };
+
+/// Route `inject[v]` units from every node v toward destination `t` along
+/// the shortest-path DAG (distances measured TO t), adding to arc_load.
+/// SinglePath forwards everything to the lowest-id downhill neighbour;
+/// Ecmp splits evenly across all downhill neighbours.
+void route_to_destination(const Graph& g, int t,
+                          const std::vector<double>& inject, Split split,
+                          std::vector<double>& arc_load) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const std::vector<int> dist = bfs_distances(g, t);  // dist TO t (undirected)
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&dist](int a, int b) {
+    return dist[static_cast<std::size_t>(a)] > dist[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<double> at(inject);
+  for (const int v : order) {
+    if (v == t) continue;
+    const double amount = at[static_cast<std::size_t>(v)];
+    if (amount <= 0.0) continue;
+    at[static_cast<std::size_t>(v)] = 0.0;
+    if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+      throw std::logic_error("route_to_destination: disconnected injection");
+    }
+    // Downhill out-arcs of v.
+    int count = 0;
+    int first_arc = -1;
+    int first_nbr = g.num_nodes();
+    for (const int a : g.out_arcs(v)) {
+      const int w = g.arc_to(a);
+      if (dist[static_cast<std::size_t>(w)] ==
+          dist[static_cast<std::size_t>(v)] - 1) {
+        ++count;
+        if (w < first_nbr) {
+          first_nbr = w;
+          first_arc = a;
+        }
+      }
+    }
+    assert(count > 0);
+    if (split == Split::SinglePath) {
+      arc_load[static_cast<std::size_t>(first_arc)] += amount;
+      at[static_cast<std::size_t>(first_nbr)] += amount;
+    } else {
+      const double share = amount / count;
+      for (const int a : g.out_arcs(v)) {
+        const int w = g.arc_to(a);
+        if (dist[static_cast<std::size_t>(w)] ==
+            dist[static_cast<std::size_t>(v)] - 1) {
+          arc_load[static_cast<std::size_t>(a)] += share;
+          at[static_cast<std::size_t>(w)] += share;
+        }
+      }
+    }
+  }
+}
+
+RoutingResult finish(const Graph& g, std::vector<double> arc_load) {
+  RoutingResult res;
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    res.max_congestion =
+        std::max(res.max_congestion,
+                 arc_load[static_cast<std::size_t>(a)] / g.arc_cap(a));
+  }
+  res.throughput =
+      res.max_congestion > 0.0 ? 1.0 / res.max_congestion : 0.0;
+  res.arc_load = std::move(arc_load);
+  return res;
+}
+
+RoutingResult shortest_path_scheme(const Graph& g, const TrafficMatrix& tm,
+                                   Split split) {
+  assert(g.finalized());
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> arc_load(static_cast<std::size_t>(g.num_arcs()), 0.0);
+  // Group demands by destination; one DAG routing pass per destination.
+  std::vector<std::vector<std::pair<int, double>>> by_dst(n);
+  for (const Demand& d : tm.demands) {
+    if (d.src != d.dst && d.amount > 0.0) {
+      by_dst[static_cast<std::size_t>(d.dst)].emplace_back(d.src, d.amount);
+    }
+  }
+  std::vector<double> inject(n, 0.0);
+  for (int t = 0; t < g.num_nodes(); ++t) {
+    if (by_dst[static_cast<std::size_t>(t)].empty()) continue;
+    std::fill(inject.begin(), inject.end(), 0.0);
+    for (const auto& [s, amount] : by_dst[static_cast<std::size_t>(t)]) {
+      inject[static_cast<std::size_t>(s)] += amount;
+    }
+    route_to_destination(g, t, inject, split, arc_load);
+  }
+  return finish(g, std::move(arc_load));
+}
+
+}  // namespace
+
+RoutingResult single_path_throughput(const Graph& g, const TrafficMatrix& tm) {
+  return shortest_path_scheme(g, tm, Split::SinglePath);
+}
+
+RoutingResult ecmp_throughput(const Graph& g, const TrafficMatrix& tm) {
+  return shortest_path_scheme(g, tm, Split::Ecmp);
+}
+
+RoutingResult vlb_throughput(const Graph& g, const TrafficMatrix& tm) {
+  assert(g.finalized());
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const double dn = static_cast<double>(g.num_nodes());
+  std::vector<double> row(n, 0.0);
+  std::vector<double> col(n, 0.0);
+  for (const Demand& d : tm.demands) {
+    if (d.src == d.dst || d.amount <= 0.0) continue;
+    row[static_cast<std::size_t>(d.src)] += d.amount;
+    col[static_cast<std::size_t>(d.dst)] += d.amount;
+  }
+
+  std::vector<double> arc_load(static_cast<std::size_t>(g.num_arcs()), 0.0);
+  std::vector<double> inject(n, 0.0);
+  // Stage 1: every source spreads rowsum/n to each intermediate w; per
+  // intermediate w this is an all-sources -> w ECMP pass.
+  // Stage 2: every intermediate forwards colsum(t)/n to t; per destination
+  // t this is an all-intermediates -> t ECMP pass.
+  for (int w = 0; w < g.num_nodes(); ++w) {
+    for (std::size_t v = 0; v < n; ++v) {
+      inject[v] = row[v] / dn;
+    }
+    inject[static_cast<std::size_t>(w)] = row[static_cast<std::size_t>(w)] / dn;
+    route_to_destination(g, w, inject, Split::Ecmp, arc_load);
+  }
+  for (int t = 0; t < g.num_nodes(); ++t) {
+    if (col[static_cast<std::size_t>(t)] <= 0.0) continue;
+    const double share = col[static_cast<std::size_t>(t)] / dn;
+    std::fill(inject.begin(), inject.end(), share);
+    inject[static_cast<std::size_t>(t)] = 0.0;
+    route_to_destination(g, t, inject, Split::Ecmp, arc_load);
+  }
+  return finish(g, std::move(arc_load));
+}
+
+}  // namespace tb::mcf

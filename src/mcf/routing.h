@@ -1,0 +1,36 @@
+// Routing-scheme throughput models (paper §V). The paper's headline metric
+// uses *optimal* multipath flow routing; it argues that evaluations under
+// restricted schemes (single-path routing in Yuan et al. [47]) measure the
+// routing, not the topology. This module provides the standard schemes so
+// that gap can be quantified:
+//
+//  * single shortest path — per-destination BFS tree (deterministic
+//    lowest-id tie-break), every demand on one path;
+//  * ECMP — per-destination shortest-path DAG with even per-hop splitting
+//    (the data-center standard practice the paper cites);
+//  * VLB — Valiant load balancing: each demand split 1/n via every
+//    intermediate node, each leg routed with ECMP (the constructive
+//    routing behind Theorem 2's factor-2 bound).
+//
+// Throughput of a scheme = 1 / max-link-congestion when the TM is routed
+// exactly as the scheme prescribes. Always <= the optimal LP value.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tm/traffic_matrix.h"
+
+namespace tb::mcf {
+
+struct RoutingResult {
+  double throughput = 0.0;        ///< 1 / max congestion at unit TM scale
+  double max_congestion = 0.0;    ///< of the unscaled TM
+  std::vector<double> arc_load;   ///< unscaled per-arc load
+};
+
+RoutingResult single_path_throughput(const Graph& g, const TrafficMatrix& tm);
+RoutingResult ecmp_throughput(const Graph& g, const TrafficMatrix& tm);
+RoutingResult vlb_throughput(const Graph& g, const TrafficMatrix& tm);
+
+}  // namespace tb::mcf

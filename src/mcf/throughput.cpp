@@ -1,0 +1,155 @@
+#include "mcf/throughput.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/timer.h"
+
+#include "graph/algorithms.h"
+#include "lp/simplex.h"
+#include "mcf/garg_konemann.h"
+
+namespace tb::mcf {
+
+ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm) {
+  if (!g.finalized()) throw std::logic_error("throughput_exact_lp: graph not finalized");
+  const int n = g.num_nodes();
+  const int num_arcs = g.num_arcs();
+
+  // Aggregate demands by source: D[s][v] = demand s -> v.
+  std::map<int, std::map<int, double>> by_source;
+  for (const Demand& d : tm.demands) {
+    if (d.src != d.dst && d.amount > 0.0) by_source[d.src][d.dst] += d.amount;
+  }
+  if (by_source.empty()) {
+    throw std::invalid_argument("throughput_exact_lp: no demands");
+  }
+
+  // Variables: t, then f[s][a] per source s and arc a.
+  lp::Problem prob;
+  prob.maximize = true;
+  const int t_var = prob.add_var(1.0);
+  std::map<int, int> base_of_source;  // source -> first flow-variable index
+  for (const auto& [s, sinks] : by_source) {
+    (void)sinks;
+    base_of_source[s] = prob.num_vars;
+    for (int a = 0; a < num_arcs; ++a) prob.add_var(0.0);
+  }
+
+  // Capacity rows: sum_s f[s][a] <= c(a).
+  for (int a = 0; a < num_arcs; ++a) {
+    lp::Row row;
+    row.sense = lp::Sense::LE;
+    row.rhs = g.arc_cap(a);
+    for (const auto& [s, base] : base_of_source) {
+      (void)s;
+      row.terms.emplace_back(base + a, 1.0);
+    }
+    prob.add_row(std::move(row));
+  }
+
+  // Conservation: for each source s and node v != s,
+  //   inflow(v) - outflow(v) - t * D(s, v) = 0.
+  // (Conservation at s itself is implied by the sum of the others.)
+  for (const auto& [s, sinks] : by_source) {
+    const int base = base_of_source[s];
+    for (int v = 0; v < n; ++v) {
+      if (v == s) continue;
+      lp::Row row;
+      row.sense = lp::Sense::EQ;
+      row.rhs = 0.0;
+      for (const int a : g.out_arcs(v)) {
+        row.terms.emplace_back(base + Graph::reverse_arc(a), 1.0);  // inflow
+        row.terms.emplace_back(base + a, -1.0);                     // outflow
+      }
+      const auto it = sinks.find(v);
+      if (it != sinks.end()) {
+        row.terms.emplace_back(t_var, -it->second);
+      }
+      prob.add_row(std::move(row));
+    }
+  }
+
+  const lp::Result sol = lp::solve(prob);
+  if (sol.status != lp::Status::Optimal) {
+    throw std::runtime_error(std::string("throughput_exact_lp: LP status ") +
+                             lp::status_name(sol.status));
+  }
+  ThroughputResult res;
+  res.throughput = sol.x[static_cast<std::size_t>(t_var)];
+  res.upper_bound = res.throughput;
+  res.solver = "exact-lp";
+  res.iterations = sol.iterations;
+  return res;
+}
+
+double volumetric_upper_bound(const Graph& g, const TrafficMatrix& tm) {
+  double weighted_len = 0.0;
+  std::map<int, std::vector<int>> dist_cache;
+  for (const Demand& d : tm.demands) {
+    auto it = dist_cache.find(d.src);
+    if (it == dist_cache.end()) {
+      it = dist_cache.emplace(d.src, bfs_distances(g, d.src)).first;
+    }
+    const int hops = it->second[static_cast<std::size_t>(d.dst)];
+    if (hops == kUnreachable) {
+      throw std::logic_error("volumetric_upper_bound: disconnected demand");
+    }
+    weighted_len += d.amount * hops;
+  }
+  if (weighted_len <= 0.0) throw std::invalid_argument("volumetric bound: no demand");
+  return g.total_capacity() / weighted_len;
+}
+
+ThroughputResult compute_throughput(const Network& net, const TrafficMatrix& tm,
+                                    const SolveOptions& opts) {
+  validate_tm(tm, net, /*check_hose=*/false);
+  // The dense simplex degrades steeply with LP size (sources x arcs flow
+  // variables); Auto only picks it when the instance is genuinely small.
+  long num_sources = 0;
+  {
+    std::vector<char> seen(static_cast<std::size_t>(net.graph.num_nodes()), 0);
+    for (const Demand& d : tm.demands) {
+      if (!seen[static_cast<std::size_t>(d.src)]) {
+        seen[static_cast<std::size_t>(d.src)] = 1;
+        ++num_sources;
+      }
+    }
+  }
+  const bool use_exact =
+      opts.kind == SolverKind::ExactLP ||
+      (opts.kind == SolverKind::Auto &&
+       net.graph.num_nodes() <= opts.exact_max_switches &&
+       num_sources * net.graph.num_arcs() <= opts.exact_max_lp_size);
+  if (use_exact) {
+    return throughput_exact_lp(net.graph, tm);
+  }
+  GkOptions gk;
+  gk.epsilon = opts.epsilon;
+  gk.parallel = opts.parallel;
+  const Timer timer;
+  const GkResult r = max_concurrent_flow(net.graph, tm, gk);
+  static const bool debug = [] {
+    const char* s = std::getenv("TOPOBENCH_DEBUG");
+    return s != nullptr && s[0] == '1';
+  }();
+  if (debug) {
+    std::fprintf(stderr,
+                 "[gk] %-28s tm=%-12s flows=%-6zu phases=%-7ld gap=%.3f "
+                 "t=%.4f %.2fs\n",
+                 net.name.c_str(), tm.name.c_str(), tm.num_flows(), r.phases,
+                 r.throughput > 0 ? r.upper_bound / r.throughput - 1.0 : -1.0,
+                 r.throughput, timer.seconds());
+  }
+  ThroughputResult res;
+  res.throughput = r.throughput;
+  res.upper_bound = r.upper_bound;
+  res.solver = "garg-konemann";
+  res.iterations = r.phases;
+  return res;
+}
+
+}  // namespace tb::mcf

@@ -1,0 +1,53 @@
+// Throughput of (network, TM) — the paper's core metric (§II-A): the
+// maximum t such that T*t admits a feasible multicommodity flow.
+//
+// Two engines:
+//  * ExactLP      — the source-aggregated edge-flow LP solved by our
+//                   revised simplex. Exact; intended for <= ~40 switches.
+//  * GargKonemann — (1-eps)-approximation with a certified dual gap;
+//                   scales to thousands of switches.
+//  * Auto         — exact when small, GK otherwise.
+#pragma once
+
+#include <string>
+
+#include "tm/traffic_matrix.h"
+#include "topo/network.h"
+
+namespace tb::mcf {
+
+enum class SolverKind { Auto, ExactLP, GargKonemann };
+
+struct SolveOptions {
+  SolverKind kind = SolverKind::Auto;
+  double epsilon = 0.03;        ///< GK certified gap target
+  int exact_max_switches = 36;  ///< Auto: LP only at or below this size...
+  long exact_max_lp_size = 4096;  ///< ...and only if sources*arcs fits this
+  bool parallel = true;
+};
+
+struct ThroughputResult {
+  double throughput = 0.0;   ///< certified achievable concurrent-flow value
+  double upper_bound = 0.0;  ///< certified upper bound (== throughput if exact)
+  std::string solver;        ///< "exact-lp" or "garg-konemann"
+  long iterations = 0;       ///< simplex pivots or GK phases
+};
+
+/// Compute throughput of `tm` on the switch graph of `net`.
+ThroughputResult compute_throughput(const Network& net, const TrafficMatrix& tm,
+                                    const SolveOptions& opts = {});
+
+/// Exact LP on a bare graph (used by tests and the theory benches).
+ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm);
+
+/// Volumetric upper bound from §II-B: total capacity divided by total
+/// demand-weighted shortest-path length. Any feasible throughput is <= this.
+double volumetric_upper_bound(const Graph& g, const TrafficMatrix& tm);
+
+/// Theorem 2 lower bound: any hose TM is feasible at >= T_A2A / 2. The
+/// caller supplies T_A2A (throughput of the all-to-all TM on `net`).
+inline double theorem2_lower_bound(double a2a_throughput) {
+  return a2a_throughput / 2.0;
+}
+
+}  // namespace tb::mcf

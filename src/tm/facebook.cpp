@@ -1,0 +1,113 @@
+#include "tm/facebook.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tb {
+namespace {
+
+double log_jitter(Rng& rng, double decades) {
+  return std::pow(10.0, rng.next_double(-decades, decades));
+}
+
+}  // namespace
+
+std::vector<double> synth_tm_hadoop(int racks, std::uint64_t seed) {
+  if (racks < 2) throw std::invalid_argument("synth_tm_hadoop: racks >= 2");
+  Rng rng(seed);
+  std::vector<double> tm(static_cast<std::size_t>(racks) *
+                             static_cast<std::size_t>(racks),
+                         0.0);
+  // Hadoop: "nearly equal weights" — unit demand with ~ +-0.15 decade jitter.
+  for (int i = 0; i < racks; ++i) {
+    for (int j = 0; j < racks; ++j) {
+      if (i == j) continue;
+      tm[static_cast<std::size_t>(i) * static_cast<std::size_t>(racks) +
+         static_cast<std::size_t>(j)] = log_jitter(rng, 0.15);
+    }
+  }
+  return tm;
+}
+
+std::vector<double> synth_tm_frontend(int racks, std::uint64_t seed) {
+  if (racks < 4) throw std::invalid_argument("synth_tm_frontend: racks >= 4");
+  Rng rng(seed);
+  // Rack roles, proportions after Roy et al.: ~20% cache followers,
+  // ~70% web servers, ~10% miscellaneous.
+  enum class Role { Web, Cache, Misc };
+  std::vector<Role> role(static_cast<std::size_t>(racks));
+  const int num_cache = std::max(1, racks / 5);
+  const int num_misc = std::max(1, racks / 10);
+  for (int i = 0; i < racks; ++i) {
+    if (i < num_cache) {
+      role[static_cast<std::size_t>(i)] = Role::Cache;
+    } else if (i < num_cache + num_misc) {
+      role[static_cast<std::size_t>(i)] = Role::Misc;
+    } else {
+      role[static_cast<std::size_t>(i)] = Role::Web;
+    }
+  }
+
+  std::vector<double> tm(static_cast<std::size_t>(racks) *
+                             static_cast<std::size_t>(racks),
+                         0.0);
+  for (int i = 0; i < racks; ++i) {
+    for (int j = 0; j < racks; ++j) {
+      if (i == j) continue;
+      const Role ri = role[static_cast<std::size_t>(i)];
+      const Role rj = role[static_cast<std::size_t>(j)];
+      double base = 1.0;  // web <-> web: light
+      if (ri == Role::Cache || rj == Role::Cache) base = 100.0;  // cache-heavy
+      if (ri == Role::Cache && rj == Role::Cache) base = 10.0;
+      if (ri == Role::Misc || rj == Role::Misc) base = 10.0;
+      tm[static_cast<std::size_t>(i) * static_cast<std::size_t>(racks) +
+         static_cast<std::size_t>(j)] = base * log_jitter(rng, 0.2);
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix map_rack_tm(const Network& net, const std::vector<double>& rack_tm,
+                          int racks, std::uint64_t placement_seed) {
+  if (static_cast<int>(rack_tm.size()) != racks * racks) {
+    throw std::invalid_argument("map_rack_tm: matrix size mismatch");
+  }
+  const std::vector<int> hosts = net.host_nodes();
+  const int h = static_cast<int>(hosts.size());
+  const int used = std::min(h, racks);
+  if (used < 2) throw std::invalid_argument("map_rack_tm: need >= 2 hosts");
+
+  // Even downsampling of rack indices ("nearest valid size").
+  std::vector<int> rack_of(static_cast<std::size_t>(used));
+  for (int i = 0; i < used; ++i) {
+    rack_of[static_cast<std::size_t>(i)] =
+        static_cast<int>((static_cast<long>(i) * racks) / used);
+  }
+  if (placement_seed != 0) {
+    Rng rng(placement_seed);
+    rng.shuffle(rack_of);
+  }
+
+  TrafficMatrix tm;
+  tm.name = placement_seed == 0 ? "FB-sampled" : "FB-shuffled";
+  for (int i = 0; i < used; ++i) {
+    for (int j = 0; j < used; ++j) {
+      if (i == j) continue;
+      const double w =
+          rack_tm[static_cast<std::size_t>(rack_of[static_cast<std::size_t>(i)]) *
+                      static_cast<std::size_t>(racks) +
+                  static_cast<std::size_t>(rack_of[static_cast<std::size_t>(j)])];
+      if (w > 0.0) {
+        tm.demands.push_back({hosts[static_cast<std::size_t>(i)],
+                              hosts[static_cast<std::size_t>(j)], w});
+      }
+    }
+  }
+  tm.canonicalize();
+  hose_normalize(tm, net.graph.num_nodes());
+  return tm;
+}
+
+}  // namespace tb

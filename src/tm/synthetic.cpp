@@ -1,0 +1,233 @@
+#include "tm/synthetic.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "lp/simplex.h"
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace tb {
+namespace {
+
+/// Hop-distance matrix restricted to host nodes (row-major H x H).
+std::vector<double> host_distance_matrix(const Network& net,
+                                         const std::vector<int>& hosts) {
+  const auto h = hosts.size();
+  std::vector<double> dist(h * h, 0.0);
+  for (std::size_t i = 0; i < h; ++i) {
+    const std::vector<int> d = bfs_distances(net.graph, hosts[i]);
+    for (std::size_t j = 0; j < h; ++j) {
+      const int dij = d[static_cast<std::size_t>(hosts[j])];
+      if (dij == kUnreachable) {
+        throw std::logic_error("host_distance_matrix: disconnected hosts");
+      }
+      dist[i * h + j] = static_cast<double>(dij);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+TrafficMatrix all_to_all(const Network& net) {
+  const std::vector<int> hosts = net.host_nodes();
+  const auto h = static_cast<double>(hosts.size());
+  TrafficMatrix tm;
+  tm.name = "A2A";
+  tm.demands.reserve(hosts.size() * (hosts.size() - 1));
+  for (const int u : hosts) {
+    for (const int v : hosts) {
+      if (u != v) tm.demands.push_back({u, v, 1.0 / h});
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix random_matching(const Network& net, int k, std::uint64_t seed) {
+  if (k < 1) throw std::invalid_argument("random_matching: k >= 1");
+  const std::vector<int> hosts = net.host_nodes();
+  const int h = static_cast<int>(hosts.size());
+  if (h < 2) throw std::invalid_argument("random_matching: need >= 2 hosts");
+
+  Rng rng(seed);
+  TrafficMatrix tm;
+  tm.name = "RM(" + std::to_string(k) + ")";
+  const double w = 1.0 / static_cast<double>(k);
+  for (int round = 0; round < k; ++round) {
+    // Random permutation with fixed points removed by a cyclic shift trick:
+    // re-draw until derangement-ish (expected < e tries), else rotate.
+    std::vector<int> perm = rng.permutation(h);
+    for (int tries = 0; tries < 32; ++tries) {
+      bool has_fixed = false;
+      for (int i = 0; i < h; ++i) {
+        if (perm[static_cast<std::size_t>(i)] == i) {
+          has_fixed = true;
+          break;
+        }
+      }
+      if (!has_fixed) break;
+      perm = rng.permutation(h);
+    }
+    for (int i = 0; i < h; ++i) {
+      int j = perm[static_cast<std::size_t>(i)];
+      if (j == i) j = (i + 1) % h;  // final guard against fixed points
+      tm.demands.push_back({hosts[static_cast<std::size_t>(i)],
+                            hosts[static_cast<std::size_t>(j)], w});
+    }
+  }
+  tm.canonicalize();
+  return tm;
+}
+
+TrafficMatrix random_matching_servers(const Network& net, std::uint64_t seed) {
+  // Expand servers, permute, map back to switches.
+  std::vector<int> switch_of_server;
+  for (int v = 0; v < net.graph.num_nodes(); ++v) {
+    for (int s = 0; s < net.servers[static_cast<std::size_t>(v)]; ++s) {
+      switch_of_server.push_back(v);
+    }
+  }
+  const int n = static_cast<int>(switch_of_server.size());
+  if (n < 2) throw std::invalid_argument("random_matching_servers: < 2 servers");
+  Rng rng(seed);
+  std::vector<int> perm = rng.permutation(n);
+  TrafficMatrix tm;
+  tm.name = "RM-servers";
+  for (int i = 0; i < n; ++i) {
+    int j = perm[static_cast<std::size_t>(i)];
+    if (j == i) j = (i + 1) % n;
+    const int src = switch_of_server[static_cast<std::size_t>(i)];
+    const int dst = switch_of_server[static_cast<std::size_t>(j)];
+    if (src != dst) tm.demands.push_back({src, dst, 1.0});
+  }
+  tm.canonicalize();
+  return tm;
+}
+
+TrafficMatrix longest_matching(const Network& net) {
+  const std::vector<int> hosts = net.host_nodes();
+  const int h = static_cast<int>(hosts.size());
+  if (h < 2) throw std::invalid_argument("longest_matching: need >= 2 hosts");
+  std::vector<double> dist = host_distance_matrix(net, hosts);
+  // Forbid self pairs.
+  for (int i = 0; i < h; ++i) {
+    dist[static_cast<std::size_t>(i) * static_cast<std::size_t>(h) +
+         static_cast<std::size_t>(i)] = -1e9;
+  }
+  const std::vector<int> match = max_weight_perfect_matching(dist, h);
+  TrafficMatrix tm;
+  tm.name = "LM";
+  for (int i = 0; i < h; ++i) {
+    const int j = match[static_cast<std::size_t>(i)];
+    if (j != i) {
+      tm.demands.push_back({hosts[static_cast<std::size_t>(i)],
+                            hosts[static_cast<std::size_t>(j)], 1.0});
+    }
+  }
+  tm.canonicalize();
+  return tm;
+}
+
+TrafficMatrix longest_matching_greedy(const Network& net) {
+  const std::vector<int> hosts = net.host_nodes();
+  const int h = static_cast<int>(hosts.size());
+  std::vector<double> dist = host_distance_matrix(net, hosts);
+  for (int i = 0; i < h; ++i) {
+    dist[static_cast<std::size_t>(i) * static_cast<std::size_t>(h) +
+         static_cast<std::size_t>(i)] = -1e9;
+  }
+  const std::vector<int> match = greedy_matching(dist, h, /*maximize=*/true);
+  TrafficMatrix tm;
+  tm.name = "LM-greedy";
+  for (int i = 0; i < h; ++i) {
+    const int j = match[static_cast<std::size_t>(i)];
+    if (j >= 0 && j != i) {
+      tm.demands.push_back({hosts[static_cast<std::size_t>(i)],
+                            hosts[static_cast<std::size_t>(j)], 1.0});
+    }
+  }
+  tm.canonicalize();
+  return tm;
+}
+
+TrafficMatrix kodialam_tm(const Network& net) {
+  const std::vector<int> hosts = net.host_nodes();
+  const int h = static_cast<int>(hosts.size());
+  if (h < 2) throw std::invalid_argument("kodialam_tm: need >= 2 hosts");
+  const std::vector<double> dist = host_distance_matrix(net, hosts);
+
+  // max sum_{i != j} d(i,j) * T(i,j)   s.t. per-host egress/ingress <= 1.
+  lp::Problem prob;
+  prob.maximize = true;
+  std::vector<std::vector<int>> var(static_cast<std::size_t>(h),
+                                    std::vector<int>(static_cast<std::size_t>(h), -1));
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < h; ++j) {
+      if (i == j) continue;
+      var[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          prob.add_var(dist[static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(h) +
+                            static_cast<std::size_t>(j)]);
+    }
+  }
+  for (int i = 0; i < h; ++i) {
+    lp::Row out_row;
+    lp::Row in_row;
+    out_row.sense = lp::Sense::LE;
+    out_row.rhs = 1.0;
+    in_row.sense = lp::Sense::LE;
+    in_row.rhs = 1.0;
+    for (int j = 0; j < h; ++j) {
+      if (i == j) continue;
+      out_row.terms.emplace_back(
+          var[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0);
+      in_row.terms.emplace_back(
+          var[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)], 1.0);
+    }
+    prob.add_row(std::move(out_row));
+    prob.add_row(std::move(in_row));
+  }
+  const lp::Result sol = lp::solve(prob);
+  if (sol.status != lp::Status::Optimal) {
+    throw std::runtime_error("kodialam_tm: LP did not reach optimality");
+  }
+
+  TrafficMatrix tm;
+  tm.name = "Kodialam";
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < h; ++j) {
+      if (i == j) continue;
+      const double t =
+          sol.x[static_cast<std::size_t>(var[static_cast<std::size_t>(i)]
+                                            [static_cast<std::size_t>(j)])];
+      if (t > 1e-9) {
+        tm.demands.push_back({hosts[static_cast<std::size_t>(i)],
+                              hosts[static_cast<std::size_t>(j)], t});
+      }
+    }
+  }
+  tm.canonicalize();
+  return tm;
+}
+
+TrafficMatrix with_elephants(const TrafficMatrix& base, double frac,
+                             double large, std::uint64_t seed) {
+  if (frac < 0.0 || frac > 1.0) {
+    throw std::invalid_argument("with_elephants: frac in [0, 1]");
+  }
+  Rng rng(seed);
+  TrafficMatrix tm = base;
+  tm.name = base.name + "+elephants(" + std::to_string(frac) + ")";
+  const int n = static_cast<int>(tm.demands.size());
+  const int big = static_cast<int>(frac * n + 0.5);
+  const std::vector<int> chosen = rng.sample_without_replacement(n, big);
+  for (Demand& d : tm.demands) d.amount = 1.0;
+  for (const int idx : chosen) {
+    tm.demands[static_cast<std::size_t>(idx)].amount = large;
+  }
+  return tm;
+}
+
+}  // namespace tb

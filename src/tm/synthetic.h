@@ -1,0 +1,50 @@
+// Synthetic traffic-matrix generators (paper §II-C, §IV-A):
+//
+//  * all_to_all       — T(v, w) = 1/H between every ordered host pair.
+//  * random_matching  — k superimposed random perfect matchings over the
+//                       hosts, each of weight 1/k ("random matching with k
+//                       servers per switch"). k = 1 is one elephant flow
+//                       in/out per host.
+//  * longest_matching — the paper's near-worst-case heuristic: maximum-
+//                       weight perfect matching of hosts under shortest-
+//                       path-length weights (Hungarian algorithm).
+//  * kodialam_tm      — the re-purposed near-worst-case TM of Kodialam et
+//                       al. [26]: an LP maximizing total demand-weighted
+//                       path length over the hose polytope (our simplex).
+//  * with_elephants   — the Fig 10-12 variant: a fraction `frac` of flows
+//                       get weight `large` (default 10), the rest weight 1.
+#pragma once
+
+#include <cstdint>
+
+#include "tm/traffic_matrix.h"
+#include "topo/network.h"
+
+namespace tb {
+
+TrafficMatrix all_to_all(const Network& net);
+
+/// k >= 1 matchings of weight 1/k each; matchings avoid self pairs.
+TrafficMatrix random_matching(const Network& net, int k, std::uint64_t seed);
+
+/// Server-granularity random matching: every *server* sends 1 unit to a
+/// uniformly random other server (derangement over servers), aggregated to
+/// switch demands. A switch with s servers therefore emits s units — the
+/// per-server hose model used by the Fig 15 / Yuan et al. replication,
+/// where unequal server counts must show up in the workload.
+TrafficMatrix random_matching_servers(const Network& net, std::uint64_t seed);
+
+TrafficMatrix longest_matching(const Network& net);
+
+/// Greedy variant of longest matching (ablation of the Hungarian step).
+TrafficMatrix longest_matching_greedy(const Network& net);
+
+/// LP-based Kodialam TM. Cost grows as H^2 LP columns; H <= ~200 advised.
+TrafficMatrix kodialam_tm(const Network& net);
+
+/// Reweight: `frac` (in [0, 1]) of the flows get `large` weight, others 1.
+/// Not hose-normalized (mirrors the paper's Fig 10-12 setup).
+TrafficMatrix with_elephants(const TrafficMatrix& base, double frac,
+                             double large, std::uint64_t seed);
+
+}  // namespace tb

@@ -1,0 +1,76 @@
+#include "tm/traffic_matrix.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace tb {
+
+double TrafficMatrix::total_demand() const {
+  double sum = 0.0;
+  for (const Demand& d : demands) sum += d.amount;
+  return sum;
+}
+
+double TrafficMatrix::max_row_sum(int num_nodes) const {
+  std::vector<double> out(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<double> in(static_cast<std::size_t>(num_nodes), 0.0);
+  for (const Demand& d : demands) {
+    out[static_cast<std::size_t>(d.src)] += d.amount;
+    in[static_cast<std::size_t>(d.dst)] += d.amount;
+  }
+  double mx = 0.0;
+  for (const double v : out) mx = std::max(mx, v);
+  for (const double v : in) mx = std::max(mx, v);
+  return mx;
+}
+
+void TrafficMatrix::scale(double f) {
+  for (Demand& d : demands) d.amount *= f;
+}
+
+void TrafficMatrix::canonicalize() {
+  std::map<std::pair<int, int>, double> merged;
+  for (const Demand& d : demands) {
+    if (d.src == d.dst || d.amount == 0.0) continue;
+    merged[{d.src, d.dst}] += d.amount;
+  }
+  demands.clear();
+  demands.reserve(merged.size());
+  for (const auto& [key, amount] : merged) {
+    if (amount > 0.0) demands.push_back({key.first, key.second, amount});
+  }
+}
+
+void validate_tm(const TrafficMatrix& tm, const Network& net, bool check_hose,
+                 double hose_cap) {
+  const int n = net.graph.num_nodes();
+  for (const Demand& d : tm.demands) {
+    if (d.src < 0 || d.src >= n || d.dst < 0 || d.dst >= n) {
+      throw std::logic_error("TM '" + tm.name + "': endpoint out of range");
+    }
+    if (d.src == d.dst) {
+      throw std::logic_error("TM '" + tm.name + "': self demand");
+    }
+    if (d.amount <= 0.0) {
+      throw std::logic_error("TM '" + tm.name + "': non-positive demand");
+    }
+    if (net.servers[static_cast<std::size_t>(d.src)] == 0 ||
+        net.servers[static_cast<std::size_t>(d.dst)] == 0) {
+      throw std::logic_error("TM '" + tm.name + "': endpoint has no servers");
+    }
+  }
+  if (check_hose && tm.max_row_sum(n) > hose_cap * (1.0 + 1e-9)) {
+    throw std::logic_error("TM '" + tm.name + "': violates hose model");
+  }
+}
+
+double hose_normalize(TrafficMatrix& tm, int num_nodes) {
+  const double mx = tm.max_row_sum(num_nodes);
+  if (mx <= 0.0) return 1.0;
+  const double f = 1.0 / mx;
+  tm.scale(f);
+  return f;
+}
+
+}  // namespace tb

@@ -1,0 +1,53 @@
+// Traffic matrices (paper §II-A). A TM lists demands between *host
+// switches* (nodes with attached servers). Following the paper's hose
+// normalization, synthetic TMs give every host switch at most 1 unit of
+// egress and 1 unit of ingress; throughput is then the maximum t at which
+// T*t is feasible. (Since server-switch links have infinite capacity, the
+// per-server formulation reduces to this per-ToR one; the paper notes "our
+// traffic matrices effectively encode switch-to-switch traffic".)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/network.h"
+
+namespace tb {
+
+struct Demand {
+  int src = 0;       ///< switch node id
+  int dst = 0;       ///< switch node id
+  double amount = 0; ///< requested flow (before the throughput scaling t)
+};
+
+struct TrafficMatrix {
+  std::string name;
+  std::vector<Demand> demands;
+
+  /// Sum of all demand amounts.
+  double total_demand() const;
+
+  /// Max over nodes of out-demand and of in-demand.
+  double max_row_sum(int num_nodes) const;
+
+  /// Scale every demand by f.
+  void scale(double f);
+
+  /// Merge duplicate (src, dst) entries and drop zero/self demands.
+  void canonicalize();
+
+  /// Number of distinct commodities (after canonicalize()).
+  std::size_t num_flows() const { return demands.size(); }
+};
+
+/// Throws std::logic_error unless every endpoint is a host of `net`,
+/// demands are positive, and (if `check_hose`) every node's in/out demand
+/// is <= hose_cap (+tolerance).
+void validate_tm(const TrafficMatrix& tm, const Network& net,
+                 bool check_hose = true, double hose_cap = 1.0);
+
+/// Normalize so the maximum per-node in/out demand equals 1 (no-op on an
+/// empty TM). Returns the scale factor applied.
+double hose_normalize(TrafficMatrix& tm, int num_nodes);
+
+}  // namespace tb

@@ -1,0 +1,58 @@
+#include "topo/bcube.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tb {
+namespace {
+
+long ipow(long base, int exp) {
+  long r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+long bcube_num_servers(int n, int k) { return ipow(n, k + 1); }
+long bcube_num_switches(int n, int k) {
+  return static_cast<long>(k + 1) * ipow(n, k);
+}
+
+Network make_bcube(int n, int k) {
+  if (n < 2) throw std::invalid_argument("make_bcube: n must be >= 2");
+  if (k < 0) throw std::invalid_argument("make_bcube: k must be >= 0");
+  const long servers = bcube_num_servers(n, k);
+  const long switches = bcube_num_switches(n, k);
+  if (servers + switches > 2'000'000) {
+    throw std::invalid_argument("make_bcube: size too large");
+  }
+
+  Network net;
+  net.name = "BCube(n=" + std::to_string(n) + ",k=" + std::to_string(k) + ")";
+  // Node layout: [server nodes | switch nodes]. Level-i switch block starts
+  // at servers + i * n^k.
+  net.graph = Graph(static_cast<int>(servers + switches));
+  const long per_level = ipow(n, k);
+
+  for (long srv = 0; srv < servers; ++srv) {
+    // digits of srv base n: a_0 least significant.
+    for (int level = 0; level <= k; ++level) {
+      // Switch address: server digits with digit `level` removed.
+      const long high = srv / ipow(n, level + 1);  // digits above level
+      const long low = srv % ipow(n, level);       // digits below level
+      const long sw_index = high * ipow(n, level) + low;
+      const long sw_node = servers + level * per_level + sw_index;
+      net.graph.add_edge(static_cast<int>(srv), static_cast<int>(sw_node));
+    }
+  }
+  net.graph.finalize();
+
+  net.servers.assign(static_cast<std::size_t>(net.graph.num_nodes()), 0);
+  for (long srv = 0; srv < servers; ++srv) {
+    net.servers[static_cast<std::size_t>(srv)] = 1;
+  }
+  return net;
+}
+
+}  // namespace tb

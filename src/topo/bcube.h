@@ -1,0 +1,22 @@
+// BCube (Guo et al., SIGCOMM'09): server-centric recursive topology.
+// BCube_k with n-port switches has n^(k+1) servers and (k+1) * n^k switches
+// arranged in k+1 levels. Server (a_k ... a_1 a_0) connects to the level-i
+// switch addressed by dropping digit a_i, on port a_i.
+//
+// In our switch-level model every BCube server is a forwarding node with one
+// attached terminal (servers relay traffic in BCube), and the pure switches
+// carry no servers.
+#pragma once
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// n: switch port count (>= 2); k: levels - 1 (>= 0).
+Network make_bcube(int n, int k);
+
+/// Number of server nodes / switch nodes for parameter sanity in callers.
+long bcube_num_servers(int n, int k);
+long bcube_num_switches(int n, int k);
+
+}  // namespace tb

@@ -1,0 +1,49 @@
+#include "topo/butterfly.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tb {
+
+Network make_butterfly(int k, int stages) {
+  if (k < 2) throw std::invalid_argument("make_butterfly: k >= 2");
+  if (stages < 2) throw std::invalid_argument("make_butterfly: stages >= 2");
+  long per_stage = 1;
+  for (int d = 0; d < stages - 1; ++d) {
+    per_stage *= k;
+    if (per_stage > 500'000) {
+      throw std::invalid_argument("make_butterfly: too large");
+    }
+  }
+  const long nodes = per_stage * stages;
+
+  Network net;
+  net.name = "Butterfly(k=" + std::to_string(k) + ",n=" +
+             std::to_string(stages) + ")";
+  net.graph = Graph(static_cast<int>(nodes));
+
+  // Stage s switch r connects to stage s+1 switches whose address differs
+  // from r only in digit s (base k).
+  long stride = 1;
+  for (int s = 0; s + 1 < stages; ++s) {
+    for (long r = 0; r < per_stage; ++r) {
+      const int digit = static_cast<int>((r / stride) % k);
+      for (int other = 0; other < k; ++other) {
+        const long peer = r + static_cast<long>(other - digit) * stride;
+        net.graph.add_edge(static_cast<int>(s * per_stage + r),
+                           static_cast<int>((s + 1) * per_stage + peer));
+      }
+    }
+    stride *= k;
+  }
+  net.graph.finalize();
+
+  net.servers.assign(static_cast<std::size_t>(nodes), 0);
+  for (long r = 0; r < per_stage; ++r) {
+    net.servers[static_cast<std::size_t>(r)] = k;  // inputs
+    net.servers[static_cast<std::size_t>((stages - 1) * per_stage + r)] = k;
+  }
+  return net;
+}
+
+}  // namespace tb

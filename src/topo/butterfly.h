@@ -1,0 +1,17 @@
+// Classic k-ary n-fly (multistage butterfly), the unflattened ancestor of
+// the flattened butterfly. n stages of k^(n-1) switches; stage-i switch is
+// wired to the k switches of stage i+1 whose addresses differ only in
+// digit i. Terminals attach to the first and last stages. Included as an
+// extension baseline for multistage designs (§II-B mentions the 5-ary
+// 3-stage butterfly's flattening).
+#pragma once
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// k >= 2 ports per direction, stages >= 2. Servers: k per first-stage
+/// switch (inputs) and k per last-stage switch (outputs).
+Network make_butterfly(int k, int stages);
+
+}  // namespace tb

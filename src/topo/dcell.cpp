@@ -1,0 +1,65 @@
+#include "topo/dcell.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tb {
+namespace {
+
+/// Servers per DCell_l: t_0 = n; t_l = t_{l-1} * (t_{l-1} + 1).
+long t_of(int n, int level) {
+  long t = n;
+  for (int l = 1; l <= level; ++l) t *= (t + 1);
+  return t;
+}
+
+}  // namespace
+
+long dcell_num_servers(int n, int level) { return t_of(n, level); }
+
+Network make_dcell(int n, int level) {
+  if (n < 2) throw std::invalid_argument("make_dcell: n must be >= 2");
+  if (level < 0) throw std::invalid_argument("make_dcell: level must be >= 0");
+  const long servers = t_of(n, level);
+  if (servers > 500'000) {
+    throw std::invalid_argument("make_dcell: size too large");
+  }
+  const long switches = servers / n;  // one mini-switch per DCell_0
+
+  Network net;
+  net.name = "DCell(n=" + std::to_string(n) + ",l=" + std::to_string(level) + ")";
+  // Node layout: [server 0 .. servers-1 | switch 0 .. switches-1]; server s
+  // belongs to DCell_0 number s / n, whose switch node is servers + s / n.
+  net.graph = Graph(static_cast<int>(servers + switches));
+  for (long s = 0; s < servers; ++s) {
+    net.graph.add_edge(static_cast<int>(s), static_cast<int>(servers + s / n));
+  }
+
+  // Recursive level links. Servers of a DCell_l occupy a contiguous id
+  // range; build(l, base) wires the level-l links of the DCell_l whose
+  // servers start at `base`.
+  const auto build = [&](auto&& self, int l, long base) -> void {
+    if (l == 0) return;
+    const long t_prev = t_of(n, l - 1);
+    const long g = t_prev + 1;  // copies of DCell_{l-1}
+    for (long i = 0; i < g; ++i) self(self, l - 1, base + i * t_prev);
+    for (long i = 0; i < g; ++i) {
+      for (long j = i + 1; j < g; ++j) {
+        const long u = base + i * t_prev + (j - 1);  // server j-1 of copy i
+        const long v = base + j * t_prev + i;        // server i of copy j
+        net.graph.add_edge(static_cast<int>(u), static_cast<int>(v));
+      }
+    }
+  };
+  build(build, level, 0);
+  net.graph.finalize();
+
+  net.servers.assign(static_cast<std::size_t>(net.graph.num_nodes()), 0);
+  for (long s = 0; s < servers; ++s) {
+    net.servers[static_cast<std::size_t>(s)] = 1;
+  }
+  return net;
+}
+
+}  // namespace tb

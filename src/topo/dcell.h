@@ -1,0 +1,19 @@
+// DCell (Guo et al., SIGCOMM'08): server-centric recursive topology.
+// DCell_0 is n servers on one switch. DCell_l consists of g_l = t_{l-1} + 1
+// copies of DCell_{l-1} (t_{l-1} = servers per copy); server j-1 of copy i
+// links directly to server i of copy j for every pair i < j.
+//
+// As with BCube, each DCell server is a forwarding node carrying one
+// terminal; the mini-switches carry none.
+#pragma once
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// n: servers per DCell_0 (>= 2); level: recursion depth (>= 0).
+Network make_dcell(int n, int level);
+
+long dcell_num_servers(int n, int level);
+
+}  // namespace tb

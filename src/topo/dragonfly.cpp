@@ -1,0 +1,60 @@
+#include "topo/dragonfly.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tb {
+
+Network make_dragonfly(int p, int a, int h, int groups) {
+  if (p < 1 || a < 1 || h < 1) {
+    throw std::invalid_argument("make_dragonfly: p, a, h must be >= 1");
+  }
+  const int max_groups = a * h + 1;
+  const int g = groups == 0 ? max_groups : groups;
+  if (g < 2 || g > max_groups) {
+    throw std::invalid_argument("make_dragonfly: groups out of range");
+  }
+
+  Network net;
+  net.name = "Dragonfly(p=" + std::to_string(p) + ",a=" + std::to_string(a) +
+             ",h=" + std::to_string(h) + ",g=" + std::to_string(g) + ")";
+  const int routers = g * a;
+  net.graph = Graph(routers);
+
+  // Intra-group complete graph.
+  for (int grp = 0; grp < g; ++grp) {
+    for (int r1 = 0; r1 < a; ++r1) {
+      for (int r2 = r1 + 1; r2 < a; ++r2) {
+        net.graph.add_edge(grp * a + r1, grp * a + r2);
+      }
+    }
+  }
+
+  // Global links, palmtree assignment: group u's global port q in
+  // [0, a*h) points to group (u + q + 1) mod g; port q belongs to router
+  // q / h of the group. Adding each undirected edge once (u < v side) and
+  // only when the peer group exists (g may be < a*h + 1; then some ports
+  // stay unused, as in practical under-populated dragonflies).
+  for (int u = 0; u < g; ++u) {
+    for (int q = 0; q < a * h; ++q) {
+      const int v = (u + q + 1) % max_groups;
+      if (v >= g || v == u) continue;
+      if (u < v) {
+        const int qv = max_groups - 2 - q;  // v's port pointing back to u
+        const int ru = u * a + q / h;
+        const int rv = v * a + qv / h;
+        net.graph.add_edge(ru, rv);
+      }
+    }
+  }
+  net.graph.finalize();
+  attach_servers_uniform(net, p);
+  return net;
+}
+
+Network make_dragonfly_balanced(int t) {
+  if (t < 1) throw std::invalid_argument("make_dragonfly_balanced: t >= 1");
+  return make_dragonfly(/*p=*/t, /*a=*/2 * t, /*h=*/t);
+}
+
+}  // namespace tb

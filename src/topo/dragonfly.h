@@ -1,0 +1,19 @@
+// Dragonfly (Kim, Dally, Scott, Abts, ISCA'08). Canonical balanced layout:
+// p servers per router, a routers per group (complete graph inside a
+// group), h global links per router, g = a*h + 1 groups so that every pair
+// of groups is joined by exactly one global link (palmtree assignment).
+// The recommended balance is a = 2p = 2h.
+#pragma once
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// p: servers/router, a: routers/group, h: global links/router.
+/// groups: number of groups; 0 means the maximum a*h + 1.
+Network make_dragonfly(int p, int a, int h, int groups = 0);
+
+/// Balanced dragonfly from a single size knob: a = 2h = 2p = 2*t.
+Network make_dragonfly_balanced(int t);
+
+}  // namespace tb

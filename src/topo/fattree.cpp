@@ -1,0 +1,62 @@
+#include "topo/fattree.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tb {
+
+FatTreeInfo fat_tree_info(int k) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat tree: k must be even and >= 2");
+  }
+  FatTreeInfo info;
+  info.k = k;
+  const int half = k / 2;
+  info.num_edge = k * half;
+  info.num_agg = k * half;
+  info.num_core = half * half;
+  info.num_servers = k * half * half;
+  info.first_edge = 0;
+  info.first_agg = info.num_edge;
+  info.first_core = info.num_edge + info.num_agg;
+  return info;
+}
+
+Network make_fat_tree(int k) {
+  const FatTreeInfo info = fat_tree_info(k);
+  const int half = k / 2;
+  Network net;
+  net.name = "FatTree(k=" + std::to_string(k) + ")";
+  net.graph = Graph(info.num_edge + info.num_agg + info.num_core);
+
+  // Pod-internal bipartite edge<->agg mesh.
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      const int edge_sw = info.first_edge + pod * half + e;
+      for (int a = 0; a < half; ++a) {
+        const int agg_sw = info.first_agg + pod * half + a;
+        net.graph.add_edge(edge_sw, agg_sw);
+      }
+    }
+  }
+  // Core c (c = a * half + i) connects to aggregation switch a of every pod.
+  for (int a = 0; a < half; ++a) {
+    for (int i = 0; i < half; ++i) {
+      const int core_sw = info.first_core + a * half + i;
+      for (int pod = 0; pod < k; ++pod) {
+        const int agg_sw = info.first_agg + pod * half + a;
+        net.graph.add_edge(agg_sw, core_sw);
+      }
+    }
+  }
+  net.graph.finalize();
+
+  // Servers only at the edge layer (paper §III-A2).
+  net.servers.assign(static_cast<std::size_t>(net.graph.num_nodes()), 0);
+  for (int e = 0; e < info.num_edge; ++e) {
+    net.servers[static_cast<std::size_t>(info.first_edge + e)] = half;
+  }
+  return net;
+}
+
+}  // namespace tb

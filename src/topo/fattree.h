@@ -1,0 +1,25 @@
+// Three-level fat tree (Al-Fares et al. / Leiserson): parameter k (even).
+// k pods of k/2 edge and k/2 aggregation switches; (k/2)^2 core switches;
+// k^3/4 servers, k/2 per edge switch. Nonblocking: absolute throughput of
+// any hose-model TM is 1 (used as a test oracle).
+#pragma once
+
+#include "topo/network.h"
+
+namespace tb {
+
+struct FatTreeInfo {
+  int k = 0;
+  int num_core = 0;
+  int num_agg = 0;
+  int num_edge = 0;
+  int num_servers = 0;
+  int first_core = 0;  ///< node-id layout: [edge | agg | core]
+  int first_agg = 0;
+  int first_edge = 0;
+};
+
+Network make_fat_tree(int k);
+FatTreeInfo fat_tree_info(int k);
+
+}  // namespace tb

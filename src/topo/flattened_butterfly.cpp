@@ -1,0 +1,43 @@
+#include "topo/flattened_butterfly.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tb {
+
+Network make_flattened_butterfly(int k, int stages) {
+  if (k < 2) throw std::invalid_argument("flattened butterfly: k >= 2");
+  if (stages < 2) throw std::invalid_argument("flattened butterfly: stages >= 2");
+  const int dims = stages - 1;
+  long routers = 1;
+  for (int d = 0; d < dims; ++d) {
+    routers *= k;
+    if (routers > 1'000'000) {
+      throw std::invalid_argument("flattened butterfly: size too large");
+    }
+  }
+
+  Network net;
+  net.name = "FlattenedBF(k=" + std::to_string(k) + ",n=" +
+             std::to_string(stages) + ")";
+  net.graph = Graph(static_cast<int>(routers));
+
+  // Router id = mixed-radix digits base k; connect routers differing in
+  // exactly one digit (full mesh within each dimension).
+  long stride = 1;
+  for (int d = 0; d < dims; ++d) {
+    for (long r = 0; r < routers; ++r) {
+      const int digit = static_cast<int>((r / stride) % k);
+      for (int other = digit + 1; other < k; ++other) {
+        const long peer = r + static_cast<long>(other - digit) * stride;
+        net.graph.add_edge(static_cast<int>(r), static_cast<int>(peer));
+      }
+    }
+    stride *= k;
+  }
+  net.graph.finalize();
+  attach_servers_uniform(net, k);
+  return net;
+}
+
+}  // namespace tb

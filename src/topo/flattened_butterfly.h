@@ -1,0 +1,15 @@
+// Flattened butterfly (Kim, Dally, Abts, ISCA'07): flatten a k-ary n-fly by
+// merging the routers of each row. Result: k^(n-1) routers on an (n-1)-
+// dimensional lattice of radix k with full connectivity inside every
+// dimension, and k terminals (servers) per router. The paper's "5-ary
+// 3-stage" instance is k = 5, n = 3: 25 switches, 125 servers.
+#pragma once
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// k: lattice radix per dimension (>= 2); stages: n (>= 2), giving n-1 dims.
+Network make_flattened_butterfly(int k, int stages);
+
+}  // namespace tb

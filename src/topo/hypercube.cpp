@@ -1,0 +1,27 @@
+#include "topo/hypercube.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tb {
+
+Network make_hypercube(int dim, int servers_per_switch) {
+  if (dim < 1 || dim > 20) {
+    throw std::invalid_argument("make_hypercube: dim must be in [1, 20]");
+  }
+  const int n = 1 << dim;
+  Network net;
+  net.name = "Hypercube(d=" + std::to_string(dim) + ")";
+  net.graph = Graph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int b = 0; b < dim; ++b) {
+      const int v = u ^ (1 << b);
+      if (u < v) net.graph.add_edge(u, v);
+    }
+  }
+  net.graph.finalize();
+  attach_servers_uniform(net, servers_per_switch);
+  return net;
+}
+
+}  // namespace tb

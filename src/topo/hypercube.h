@@ -1,0 +1,12 @@
+// Binary hypercube (Bhuyan & Agrawal): 2^dim switches, switch u and v
+// adjacent iff their labels differ in exactly one bit. Degree = dim,
+// diameter = dim. Servers attach uniformly (paper default: 1 per switch).
+#pragma once
+
+#include "topo/network.h"
+
+namespace tb {
+
+Network make_hypercube(int dim, int servers_per_switch = 1);
+
+}  // namespace tb

@@ -1,0 +1,84 @@
+#include "topo/hyperx.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tb {
+
+long HyperXParams::routers() const {
+  long r = 1;
+  for (int d = 0; d < L; ++d) r *= S;
+  return r;
+}
+
+Network make_hyperx(const HyperXParams& params) {
+  if (params.L < 1 || params.S < 2 || params.K < 1 || params.T < 1) {
+    throw std::invalid_argument("make_hyperx: invalid parameters");
+  }
+  const long routers = params.routers();
+  if (routers > 1'000'000) {
+    throw std::invalid_argument("make_hyperx: size too large");
+  }
+
+  Network net;
+  net.name = "HyperX(L=" + std::to_string(params.L) + ",S=" +
+             std::to_string(params.S) + ",K=" + std::to_string(params.K) +
+             ",T=" + std::to_string(params.T) + ")";
+  net.graph = Graph(static_cast<int>(routers));
+
+  long stride = 1;
+  for (int d = 0; d < params.L; ++d) {
+    for (long r = 0; r < routers; ++r) {
+      const int digit = static_cast<int>((r / stride) % params.S);
+      for (int other = digit + 1; other < params.S; ++other) {
+        const long peer = r + static_cast<long>(other - digit) * stride;
+        net.graph.add_edge(static_cast<int>(r), static_cast<int>(peer),
+                           static_cast<double>(params.K));
+      }
+    }
+    stride *= params.S;
+  }
+  net.graph.finalize();
+  attach_servers_uniform(net, params.T);
+  return net;
+}
+
+std::optional<HyperXParams> search_hyperx(int radix, long min_servers,
+                                          double min_bisection, int max_dims) {
+  std::optional<HyperXParams> best;
+  for (int L = 1; L <= max_dims; ++L) {
+    for (int S = 2; S <= radix; ++S) {
+      long routers = 1;
+      bool overflow = false;
+      for (int d = 0; d < L; ++d) {
+        routers *= S;
+        if (routers > 4'000'000) {
+          overflow = true;
+          break;
+        }
+      }
+      if (overflow) break;
+      for (int K = 1; K <= radix; ++K) {
+        // Smallest T that meets the server requirement; it must also fit
+        // the radix and satisfy the bisection target.
+        const long t_needed = (min_servers + routers - 1) / routers;
+        if (t_needed > radix) continue;
+        const int T = static_cast<int>(t_needed < 1 ? 1 : t_needed);
+        HyperXParams p{L, S, K, T};
+        if (p.radix_used() > radix) continue;
+        if (p.bisection() + 1e-12 < min_bisection) continue;
+        if (p.servers() < min_servers) continue;
+        // Cost model: router count first, then consumed ports.
+        if (!best || p.routers() < best->routers() ||
+            (p.routers() == best->routers() &&
+             p.radix_used() < best->radix_used())) {
+          best = p;
+        }
+        break;  // larger K only raises cost once constraints are met
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tb

@@ -1,0 +1,44 @@
+// HyperX (Ahn et al., SC'09): an L-dimensional lattice of S_1 x ... x S_L
+// routers with full intra-dimension connectivity, K-wide trunked links and
+// T terminals per router. A regular HyperX has equal S per dimension.
+//
+// The paper evaluates the *least-cost* HyperX found for a given switch
+// radix, server count and target bisection (its irregular scaling in Figs
+// 5-7 comes from this search). We reproduce the regular-HyperX searcher:
+// minimize router count subject to
+//     radix:     L*(S-1)*K + T <= R
+//     servers:   T * S^L >= N
+//     bisection: K*S / (2*T) >= beta
+// as derived in the HyperX paper for regular instances.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "topo/network.h"
+
+namespace tb {
+
+struct HyperXParams {
+  int L = 1;       ///< dimensions
+  int S = 2;       ///< routers per dimension
+  int K = 1;       ///< link trunking factor (capacity multiplier)
+  int T = 1;       ///< terminals (servers) per router
+  long routers() const;
+  long servers() const { return T * routers(); }
+  /// Normalized worst-case bisection per server: K*S/(2T).
+  double bisection() const { return static_cast<double>(K) * S / (2.0 * T); }
+  /// Ports consumed per router.
+  int radix_used() const { return L * (S - 1) * K + T; }
+};
+
+/// Build a regular HyperX network (capacity K on every lattice edge).
+Network make_hyperx(const HyperXParams& params);
+
+/// Least-router-count regular HyperX meeting the constraints, or nullopt.
+/// Searches L in [1, max_dims], S in [2, radix], K and T derived.
+std::optional<HyperXParams> search_hyperx(int radix, long min_servers,
+                                          double min_bisection,
+                                          int max_dims = 4);
+
+}  // namespace tb

@@ -1,0 +1,110 @@
+#include "topo/io.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tb {
+
+void write_edge_list(std::ostream& os, const Network& net) {
+  os << "# " << net.name << '\n';
+  os << "nodes " << net.graph.num_nodes() << '\n';
+  for (int v = 0; v < net.graph.num_nodes(); ++v) {
+    if (net.servers[static_cast<std::size_t>(v)] > 0) {
+      os << "servers " << v << ' ' << net.servers[static_cast<std::size_t>(v)]
+         << '\n';
+    }
+  }
+  for (int e = 0; e < net.graph.num_edges(); ++e) {
+    os << "edge " << net.graph.edge_u(e) << ' ' << net.graph.edge_v(e) << ' '
+       << net.graph.edge_cap(e) << '\n';
+  }
+}
+
+std::string to_edge_list(const Network& net) {
+  std::ostringstream os;
+  write_edge_list(os, net);
+  return os.str();
+}
+
+Network read_edge_list(std::istream& is, const std::string& name) {
+  Network net;
+  net.name = name;
+  bool have_nodes = false;
+  std::string line;
+  std::vector<std::pair<int, int>> servers;
+  long line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    const auto fail = [&](const std::string& why) {
+      throw std::runtime_error("read_edge_list: line " +
+                               std::to_string(line_no) + ": " + why);
+    };
+    if (kind == "nodes") {
+      int n = -1;
+      if (!(ls >> n) || n < 0) fail("bad node count");
+      if (have_nodes) fail("duplicate nodes line");
+      net.graph = Graph(n);
+      net.servers.assign(static_cast<std::size_t>(n), 0);
+      have_nodes = true;
+    } else if (kind == "servers") {
+      int v = -1;
+      int count = -1;
+      if (!(ls >> v >> count) || count < 0) fail("bad servers line");
+      servers.emplace_back(v, count);
+    } else if (kind == "edge") {
+      if (!have_nodes) fail("edge before nodes");
+      int u = -1;
+      int v = -1;
+      double cap = 1.0;
+      if (!(ls >> u >> v >> cap)) fail("bad edge line");
+      try {
+        net.graph.add_edge(u, v, cap);
+      } catch (const std::exception& ex) {
+        fail(ex.what());
+      }
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  if (!have_nodes) throw std::runtime_error("read_edge_list: missing nodes");
+  for (const auto& [v, count] : servers) {
+    if (v < 0 || v >= net.graph.num_nodes()) {
+      throw std::runtime_error("read_edge_list: servers node out of range");
+    }
+    net.servers[static_cast<std::size_t>(v)] = count;
+  }
+  net.graph.finalize();
+  return net;
+}
+
+Network parse_edge_list(const std::string& text, const std::string& name) {
+  std::istringstream is(text);
+  return read_edge_list(is, name);
+}
+
+std::string to_dot(const Network& net) {
+  std::ostringstream os;
+  os << "graph \"" << net.name << "\" {\n";
+  for (int v = 0; v < net.graph.num_nodes(); ++v) {
+    const int s = net.servers[static_cast<std::size_t>(v)];
+    if (s > 0) {
+      os << "  n" << v << " [label=\"" << v << " (" << s << " srv)\"];\n";
+    }
+  }
+  for (int e = 0; e < net.graph.num_edges(); ++e) {
+    os << "  n" << net.graph.edge_u(e) << " -- n" << net.graph.edge_v(e);
+    if (net.graph.edge_cap(e) != 1.0) {
+      os << " [label=\"" << net.graph.edge_cap(e) << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tb

@@ -1,0 +1,31 @@
+// Graph and network serialization: a plain edge-list format (round-trip)
+// and Graphviz DOT export (visualization). The edge-list format is
+// line-oriented and diff-friendly:
+//
+//   # comment
+//   nodes <n>
+//   servers <v> <count>        (optional, one per hosting node)
+//   edge <u> <v> <capacity>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// Serialize a network to the edge-list format.
+void write_edge_list(std::ostream& os, const Network& net);
+std::string to_edge_list(const Network& net);
+
+/// Parse the edge-list format; throws std::runtime_error on malformed
+/// input. The returned network is finalized and named `name`.
+Network read_edge_list(std::istream& is, const std::string& name = "loaded");
+Network parse_edge_list(const std::string& text,
+                        const std::string& name = "loaded");
+
+/// Graphviz DOT (undirected), capacities as labels when != 1.
+std::string to_dot(const Network& net);
+
+}  // namespace tb

@@ -1,0 +1,216 @@
+#include "topo/jellyfish.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace tb {
+namespace {
+
+using EdgeSet = std::set<std::pair<int, int>>;
+
+std::pair<int, int> ordered(int u, int v) {
+  return u < v ? std::pair{u, v} : std::pair{v, u};
+}
+
+/// Repair multi-edges/self-loops via double-edge swaps; returns false if it
+/// cannot make the multiset acceptable within the attempt budget. With
+/// allow_parallel only self-loops are offending (dense port counts, e.g.
+/// trunked HyperX gear, cannot be realized as simple graphs).
+bool make_simple(std::vector<std::pair<int, int>>& edges, Rng& rng,
+                 bool allow_parallel) {
+  const auto is_bad = [](const std::pair<int, int>& e) {
+    return e.first == e.second;
+  };
+  for (long attempt = 0; attempt < 200L * static_cast<long>(edges.size()) + 1000;
+       ++attempt) {
+    // Rebuild the duplicate index.
+    EdgeSet seen;
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const bool dup =
+          !seen.insert(ordered(edges[i].first, edges[i].second)).second;
+      if (is_bad(edges[i]) || (dup && !allow_parallel)) {
+        bad.push_back(i);
+      }
+    }
+    if (bad.empty()) return true;
+    // Swap each offending edge with a random partner edge.
+    bool progressed = false;
+    for (const std::size_t i : bad) {
+      for (int tries = 0; tries < 64; ++tries) {
+        const auto j = static_cast<std::size_t>(rng.next_u64(edges.size()));
+        if (j == i) continue;
+        auto [a, b] = edges[i];
+        auto [c, d] = edges[j];
+        if (rng.next_bool(0.5)) std::swap(c, d);
+        // Propose (a, d) and (c, b).
+        if (a == d || c == b) continue;
+        if (!allow_parallel && (seen.contains(ordered(a, d)) ||
+                                seen.contains(ordered(c, b)))) {
+          continue;
+        }
+        edges[i] = {a, d};
+        edges[j] = {c, b};
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed && !bad.empty()) {
+      // Full reshuffle escape hatch: permute endpoints globally.
+      std::vector<int> stubs;
+      stubs.reserve(edges.size() * 2);
+      for (const auto& [u, v] : edges) {
+        stubs.push_back(u);
+        stubs.push_back(v);
+      }
+      rng.shuffle(stubs);
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        edges[i] = {stubs[2 * i], stubs[2 * i + 1]};
+      }
+    }
+  }
+  return false;
+}
+
+/// Connect components by swapping an edge inside the giant component with an
+/// edge of a smaller component (degree-preserving).
+void make_connected(std::vector<std::pair<int, int>>& edges, int n, Rng& rng,
+                    bool allow_parallel) {
+  for (int guard = 0; guard < 10'000; ++guard) {
+    Graph g(n);
+    for (const auto& [u, v] : edges) g.add_edge(u, v);
+    g.finalize();
+    int comps = 0;
+    const std::vector<int> comp = connected_components(g, &comps);
+    if (comps <= 1) return;
+
+    EdgeSet seen;
+    for (const auto& [u, v] : edges) seen.insert(ordered(u, v));
+
+    // Pick one edge in component 0 and one in a different component; swap.
+    std::vector<std::size_t> in0;
+    std::vector<std::size_t> other;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const int c = comp[static_cast<std::size_t>(edges[i].first)];
+      (c == 0 ? in0 : other).push_back(i);
+    }
+    if (in0.empty() || other.empty()) {
+      // Component 0 has no edges (isolated node with degree 0 cannot
+      // happen for degree >= 1); bail to avoid an infinite loop.
+      throw std::runtime_error("random graph: cannot connect components");
+    }
+    bool swapped = false;
+    for (int tries = 0; tries < 256 && !swapped; ++tries) {
+      const std::size_t i = in0[static_cast<std::size_t>(rng.next_u64(in0.size()))];
+      const std::size_t j =
+          other[static_cast<std::size_t>(rng.next_u64(other.size()))];
+      auto [a, b] = edges[i];
+      auto [c, d] = edges[j];
+      if (rng.next_bool(0.5)) std::swap(c, d);
+      if (a == d || c == b) continue;
+      if (!allow_parallel && (seen.contains(ordered(a, d)) ||
+                              seen.contains(ordered(c, b)))) {
+        continue;
+      }
+      edges[i] = {a, d};
+      edges[j] = {c, b};
+      swapped = true;
+    }
+    if (!swapped) {
+      throw std::runtime_error("random graph: connectivity repair stalled");
+    }
+  }
+  throw std::runtime_error("random graph: connectivity repair did not converge");
+}
+
+}  // namespace
+
+Graph random_graph_with_degrees(const std::vector<int>& degrees,
+                                std::uint64_t seed) {
+  const int n = static_cast<int>(degrees.size());
+  long stub_count = 0;
+  int max_deg = 0;
+  for (const int d : degrees) {
+    if (d < 0) throw std::invalid_argument("random graph: negative degree");
+    stub_count += d;
+    max_deg = std::max(max_deg, d);
+  }
+  if (stub_count % 2 != 0) {
+    throw std::invalid_argument("random graph: odd degree sum");
+  }
+  // Degrees >= n cannot be realized as a simple graph; such gear (e.g.
+  // trunked HyperX ports) gets parallel unit links instead, which is what
+  // the equipment physically is.
+  const bool allow_parallel = max_deg >= n;
+
+  Rng rng(seed);
+  std::vector<int> stubs;
+  stubs.reserve(static_cast<std::size_t>(stub_count));
+  for (int v = 0; v < n; ++v) {
+    for (int i = 0; i < degrees[static_cast<std::size_t>(v)]; ++i) {
+      stubs.push_back(v);
+    }
+  }
+
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    rng.shuffle(stubs);
+    std::vector<std::pair<int, int>> edges;
+    edges.reserve(stubs.size() / 2);
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      edges.emplace_back(stubs[i], stubs[i + 1]);
+    }
+    if (!make_simple(edges, rng, allow_parallel)) continue;
+    make_connected(edges, n, rng, allow_parallel);
+    Graph g(n);
+    for (const auto& [u, v] : edges) g.add_edge(u, v);
+    g.finalize();
+    return g;
+  }
+  throw std::runtime_error("random graph: sampling failed");
+}
+
+Network make_jellyfish(int n_switches, int degree, int servers_per_switch,
+                       std::uint64_t seed) {
+  if (n_switches < 2 || degree < 1 || degree >= n_switches) {
+    throw std::invalid_argument("make_jellyfish: invalid n/degree");
+  }
+  if ((static_cast<long>(n_switches) * degree) % 2 != 0) {
+    throw std::invalid_argument("make_jellyfish: n * degree must be even");
+  }
+  Network net;
+  net.name = "Jellyfish(n=" + std::to_string(n_switches) + ",r=" +
+             std::to_string(degree) + ")";
+  net.graph = random_graph_with_degrees(
+      std::vector<int>(static_cast<std::size_t>(n_switches), degree), seed);
+  attach_servers_uniform(net, servers_per_switch);
+  return net;
+}
+
+Network make_same_equipment_random(const Network& reference,
+                                   std::uint64_t seed) {
+  // Equipment is counted in unit-capacity ports: a trunked link of integer
+  // capacity K (e.g. HyperX's K-wide links) is K parallel unit links, so the
+  // random normalizer gets round(sum of incident capacity) unit links per
+  // node, exactly matching the gear of the reference network.
+  const Graph& g = reference.graph;
+  std::vector<int> degrees(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const int cap = static_cast<int>(g.edge_cap(e) + 0.5);
+    degrees[static_cast<std::size_t>(g.edge_u(e))] += cap;
+    degrees[static_cast<std::size_t>(g.edge_v(e))] += cap;
+  }
+  Network net;
+  net.name = "RandomGraph(equip=" + reference.name + ")";
+  net.graph = random_graph_with_degrees(degrees, seed);
+  net.servers = reference.servers;
+  return net;
+}
+
+}  // namespace tb

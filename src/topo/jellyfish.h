@@ -1,0 +1,34 @@
+// Jellyfish (Singla et al., NSDI'12): switches wired as a uniform-random
+// regular graph. Also provides the paper's normalizer: a uniform-random
+// *same-equipment* graph matching an arbitrary per-node degree sequence
+// (§IV: "build a random graph with precisely the same equipment").
+//
+// Construction: configuration-model stub pairing, then repair of self-loops
+// / parallel edges / disconnection by random double-edge swaps (the
+// standard technique for sampling simple connected graphs with a fixed
+// degree sequence).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// Random r-regular graph on n switches, `servers_per_switch` servers each.
+/// Requires n*r even, r < n.
+Network make_jellyfish(int n_switches, int degree, int servers_per_switch,
+                       std::uint64_t seed);
+
+/// Uniform-ish random simple connected graph with the given degree sequence.
+/// Throws if the sequence is not realizable as a connected simple graph.
+Graph random_graph_with_degrees(const std::vector<int>& degrees,
+                                std::uint64_t seed);
+
+/// Same-equipment random network: degree sequence and per-node server counts
+/// copied from `reference` (paper's relative-throughput denominator).
+Network make_same_equipment_random(const Network& reference,
+                                   std::uint64_t seed);
+
+}  // namespace tb

@@ -1,0 +1,87 @@
+#include "topo/longhop.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/spectral.h"
+#include "util/rng.h"
+
+namespace tb {
+namespace {
+
+Graph cayley_z2(int dim, const std::vector<std::uint32_t>& generators) {
+  const int n = 1 << dim;
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (const std::uint32_t gen : generators) {
+      const int v = u ^ static_cast<int>(gen);
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace
+
+Network make_long_hop(int dim, int extra_generators, int servers_per_switch,
+                      std::uint64_t seed) {
+  if (dim < 2 || dim > 16) {
+    throw std::invalid_argument("make_long_hop: dim must be in [2, 16]");
+  }
+  const std::uint32_t space = 1u << dim;
+  if (extra_generators < 0 ||
+      static_cast<std::uint32_t>(dim + extra_generators) >= space) {
+    throw std::invalid_argument("make_long_hop: too many generators");
+  }
+
+  // Base generators: the hypercube's unit vectors.
+  std::vector<std::uint32_t> gens;
+  for (int b = 0; b < dim; ++b) gens.push_back(1u << b);
+
+  // Candidate pool: all vectors of Hamming weight >= 2 (the "long hops"),
+  // shuffled deterministically so ties are broken reproducibly. For large
+  // dim we cap the pool at 4096 sampled candidates.
+  std::vector<std::uint32_t> pool;
+  for (std::uint32_t v = 1; v < space; ++v) {
+    if (__builtin_popcount(v) >= 2) pool.push_back(v);
+  }
+  Rng rng(seed);
+  rng.shuffle(pool);
+  if (pool.size() > 4096) pool.resize(4096);
+
+  // Greedy: add the candidate that maximizes the normalized spectral gap.
+  // To keep construction cheap we score at most 24 candidates per step
+  // (the pool is pre-shuffled, so this is a random subset).
+  for (int step = 0; step < extra_generators; ++step) {
+    double best_gap = -1.0;
+    std::size_t best_idx = pool.size();
+    const std::size_t budget = std::min<std::size_t>(pool.size(), 24);
+    for (std::size_t i = 0; i < budget; ++i) {
+      if (std::find(gens.begin(), gens.end(), pool[i]) != gens.end()) continue;
+      gens.push_back(pool[i]);
+      const double gap = normalized_spectral_gap(cayley_z2(dim, gens));
+      gens.pop_back();
+      if (gap > best_gap) {
+        best_gap = gap;
+        best_idx = i;
+      }
+    }
+    if (best_idx == pool.size()) {
+      throw std::runtime_error("make_long_hop: candidate pool exhausted");
+    }
+    gens.push_back(pool[best_idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  }
+
+  Network net;
+  net.name = "LongHop(dim=" + std::to_string(dim) + ",deg=" +
+             std::to_string(dim + extra_generators) + ")";
+  net.graph = cayley_z2(dim, gens);
+  attach_servers_uniform(net, servers_per_switch);
+  return net;
+}
+
+}  // namespace tb

@@ -1,0 +1,171 @@
+#include "topo/natural.h"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace tb {
+namespace {
+
+std::pair<int, int> ordered(int u, int v) {
+  return u < v ? std::pair{u, v} : std::pair{v, u};
+}
+
+/// Join components with random cross edges (used by the sparse samplers).
+void repair_connectivity(Graph& g, std::set<std::pair<int, int>>& edges,
+                         Rng& rng) {
+  g.finalize();
+  for (;;) {
+    int comps = 0;
+    const std::vector<int> comp = connected_components(g, &comps);
+    if (comps <= 1) return;
+    // Link a random node of component 0 with a random node of another.
+    std::vector<int> side0;
+    std::vector<int> rest;
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      (comp[static_cast<std::size_t>(v)] == 0 ? side0 : rest).push_back(v);
+    }
+    const int u = side0[static_cast<std::size_t>(rng.next_u64(side0.size()))];
+    const int v = rest[static_cast<std::size_t>(rng.next_u64(rest.size()))];
+    if (edges.insert(ordered(u, v)).second) {
+      // Rebuild with the extra edge (Graph has no incremental finalize).
+      Graph g2(g.num_nodes());
+      for (const auto& [a, b] : edges) g2.add_edge(a, b);
+      g2.finalize();
+      g = std::move(g2);
+    }
+  }
+}
+
+Graph from_edge_set(int n, const std::set<std::pair<int, int>>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
+  return g;
+}
+
+}  // namespace
+
+Network make_watts_strogatz(int n, int k, double rewire_p,
+                            std::uint64_t seed) {
+  if (n < 4 || k < 2 || k % 2 != 0 || k >= n) {
+    throw std::invalid_argument("make_watts_strogatz: bad parameters");
+  }
+  Rng rng(seed);
+  std::set<std::pair<int, int>> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int j = 1; j <= k / 2; ++j) {
+      edges.insert(ordered(v, (v + j) % n));
+    }
+  }
+  // Rewire: replace each edge's far endpoint with a random node w.p. p.
+  std::vector<std::pair<int, int>> snapshot(edges.begin(), edges.end());
+  for (const auto& e : snapshot) {
+    if (!rng.next_bool(rewire_p)) continue;
+    const int u = e.first;
+    for (int tries = 0; tries < 32; ++tries) {
+      const int w = static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(n)));
+      if (w == u || edges.contains(ordered(u, w))) continue;
+      edges.erase(e);
+      edges.insert(ordered(u, w));
+      break;
+    }
+  }
+  Graph g = from_edge_set(n, edges);
+  Rng repair_rng(rng());
+  repair_connectivity(g, edges, repair_rng);
+
+  Network net;
+  net.name = "WattsStrogatz(n=" + std::to_string(n) + ",k=" +
+             std::to_string(k) + ")";
+  net.graph = std::move(g);
+  attach_servers_uniform(net, 1);
+  return net;
+}
+
+Network make_barabasi_albert(int n, int m, std::uint64_t seed) {
+  if (m < 1 || n <= m + 1) {
+    throw std::invalid_argument("make_barabasi_albert: bad parameters");
+  }
+  Rng rng(seed);
+  std::set<std::pair<int, int>> edges;
+  // Seed clique of m + 1 nodes.
+  std::vector<int> endpoint_pool;  // node repeated once per incident edge
+  for (int u = 0; u <= m; ++u) {
+    for (int v = u + 1; v <= m; ++v) {
+      edges.insert({u, v});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (int v = m + 1; v < n; ++v) {
+    std::set<int> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < m && ++guard < 10'000) {
+      const int t = endpoint_pool[static_cast<std::size_t>(
+          rng.next_u64(endpoint_pool.size()))];
+      if (t != v) targets.insert(t);
+    }
+    for (const int t : targets) {
+      edges.insert(ordered(v, t));
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  Network net;
+  net.name = "BarabasiAlbert(n=" + std::to_string(n) + ",m=" +
+             std::to_string(m) + ")";
+  net.graph = from_edge_set(n, edges);
+  attach_servers_uniform(net, 1);
+  return net;
+}
+
+Network make_planted_partition(int groups, int group_size, double p_in,
+                               double p_out, std::uint64_t seed) {
+  if (groups < 2 || group_size < 2) {
+    throw std::invalid_argument("make_planted_partition: bad parameters");
+  }
+  Rng rng(seed);
+  const int n = groups * group_size;
+  std::set<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const bool same = (u / group_size) == (v / group_size);
+      if (rng.next_bool(same ? p_in : p_out)) edges.insert({u, v});
+    }
+  }
+  Graph g = from_edge_set(n, edges);
+  repair_connectivity(g, edges, rng);
+
+  Network net;
+  net.name = "PlantedPartition(g=" + std::to_string(groups) + ",s=" +
+             std::to_string(group_size) + ")";
+  net.graph = std::move(g);
+  attach_servers_uniform(net, 1);
+  return net;
+}
+
+std::vector<Network> natural_network_suite(int count, std::uint64_t seed) {
+  std::vector<Network> nets;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    switch (i % 3) {
+      case 0:
+        nets.push_back(make_watts_strogatz(20 + 4 * (i % 5), 4, 0.2, rng()));
+        break;
+      case 1:
+        nets.push_back(make_barabasi_albert(18 + 4 * (i % 5), 2, rng()));
+        break;
+      default:
+        nets.push_back(make_planted_partition(3, 6 + (i % 4), 0.7, 0.06, rng()));
+        break;
+    }
+  }
+  return nets;
+}
+
+}  // namespace tb

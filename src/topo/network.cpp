@@ -1,0 +1,45 @@
+#include "topo/network.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+
+namespace tb {
+
+int Network::total_servers() const {
+  return std::accumulate(servers.begin(), servers.end(), 0);
+}
+
+std::vector<int> Network::host_nodes() const {
+  std::vector<int> hosts;
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    if (servers[static_cast<std::size_t>(v)] > 0) hosts.push_back(v);
+  }
+  return hosts;
+}
+
+void Network::validate() const {
+  if (!graph.finalized()) {
+    throw std::logic_error("Network '" + name + "': graph not finalized");
+  }
+  if (static_cast<int>(servers.size()) != graph.num_nodes()) {
+    throw std::logic_error("Network '" + name + "': servers size mismatch");
+  }
+  for (const int s : servers) {
+    if (s < 0) throw std::logic_error("Network '" + name + "': negative servers");
+  }
+  if (total_servers() == 0) {
+    throw std::logic_error("Network '" + name + "': no servers attached");
+  }
+  if (!is_connected(graph)) {
+    throw std::logic_error("Network '" + name + "': disconnected graph");
+  }
+}
+
+void attach_servers_uniform(Network& net, int per_switch) {
+  net.servers.assign(static_cast<std::size_t>(net.graph.num_nodes()),
+                     per_switch);
+}
+
+}  // namespace tb

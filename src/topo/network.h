@@ -1,0 +1,42 @@
+// The Network abstraction: a switch-level graph plus server attachment.
+//
+// Paper model (§II-A): servers send/receive traffic and connect to exactly
+// one switch over an infinite-capacity link; switch-switch links have
+// capacity 1 unless a topology says otherwise. Because server links are
+// infinite, traffic matrices reduce to switch-to-switch demands where a
+// switch with s attached servers can originate and sink up to s units
+// (hose model). Server-centric designs (BCube, DCell) model each server as
+// a forwarding node carrying one attached terminal, so servers participate
+// in routing exactly as those designs intend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tb {
+
+struct Network {
+  std::string name;
+  Graph graph;               ///< switch-level topology (finalized)
+  std::vector<int> servers;  ///< servers attached to each node
+
+  int num_switches() const { return graph.num_nodes(); }
+
+  /// Total attached servers.
+  int total_servers() const;
+
+  /// Node ids that have at least one server ("hosts" / ToRs).
+  std::vector<int> host_nodes() const;
+
+  /// Sanity checks: finalized graph, connected, server vector sized right.
+  /// Throws std::logic_error on violation.
+  void validate() const;
+};
+
+/// Attach `per_switch` servers to every node (the paper's convention for
+/// networks without prescribed server locations).
+void attach_servers_uniform(Network& net, int per_switch);
+
+}  // namespace tb

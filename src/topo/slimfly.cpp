@@ -1,0 +1,126 @@
+#include "topo/slimfly.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tb {
+namespace {
+
+bool is_prime(int q) {
+  if (q < 2) return false;
+  for (int d = 2; d * d <= q; ++d) {
+    if (q % d == 0) return false;
+  }
+  return true;
+}
+
+/// Smallest primitive root modulo prime q (exists for all primes).
+int primitive_root(int q) {
+  // Factorize q - 1.
+  std::vector<int> factors;
+  int rem = q - 1;
+  for (int d = 2; d * d <= rem; ++d) {
+    if (rem % d == 0) {
+      factors.push_back(d);
+      while (rem % d == 0) rem /= d;
+    }
+  }
+  if (rem > 1) factors.push_back(rem);
+
+  const auto pow_mod = [q](long base, long exp) {
+    long r = 1 % q;
+    base %= q;
+    while (exp > 0) {
+      if (exp & 1) r = r * base % q;
+      base = base * base % q;
+      exp >>= 1;
+    }
+    return static_cast<int>(r);
+  };
+  for (int g = 2; g < q; ++g) {
+    bool ok = true;
+    for (const int f : factors) {
+      if (pow_mod(g, (q - 1) / f) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  throw std::logic_error("primitive_root: none found");
+}
+
+}  // namespace
+
+bool slim_fly_supports(int q) { return is_prime(q) && q % 4 == 1; }
+
+Network make_slim_fly(int q, int servers_per_router) {
+  if (!slim_fly_supports(q)) {
+    throw std::invalid_argument(
+        "make_slim_fly: q must be a prime with q % 4 == 1");
+  }
+
+  // Generator sets: X = even powers of xi, X' = odd powers.
+  const int xi = primitive_root(q);
+  std::vector<char> in_x(static_cast<std::size_t>(q), 0);
+  std::vector<char> in_xp(static_cast<std::size_t>(q), 0);
+  {
+    long p = 1;  // xi^0
+    for (int e = 0; e < q - 1; ++e) {
+      if (e % 2 == 0) {
+        in_x[static_cast<std::size_t>(p)] = 1;
+      } else {
+        in_xp[static_cast<std::size_t>(p)] = 1;
+      }
+      p = p * xi % q;
+    }
+  }
+
+  const int routers = 2 * q * q;
+  Network net;
+  net.name = "SlimFly(q=" + std::to_string(q) + ")";
+  net.graph = Graph(routers);
+  // Node id: block * q^2 + a * q + b, i.e. (0, x, y) -> x*q + y and
+  // (1, m, c) -> q^2 + m*q + c.
+  const auto id0 = [q](int x, int y) { return x * q + y; };
+  const auto id1 = [q](int m, int c) { return q * q + m * q + c; };
+
+  // Intra-block edges.
+  for (int x = 0; x < q; ++x) {
+    for (int y = 0; y < q; ++y) {
+      for (int y2 = y + 1; y2 < q; ++y2) {
+        const int diff = (y2 - y) % q;
+        if (in_x[static_cast<std::size_t>(diff)] ||
+            in_x[static_cast<std::size_t>(q - diff)]) {
+          net.graph.add_edge(id0(x, y), id0(x, y2));
+        }
+      }
+    }
+  }
+  for (int m = 0; m < q; ++m) {
+    for (int c = 0; c < q; ++c) {
+      for (int c2 = c + 1; c2 < q; ++c2) {
+        const int diff = (c2 - c) % q;
+        if (in_xp[static_cast<std::size_t>(diff)] ||
+            in_xp[static_cast<std::size_t>(q - diff)]) {
+          net.graph.add_edge(id1(m, c), id1(m, c2));
+        }
+      }
+    }
+  }
+  // Cross edges: (0, x, y) ~ (1, m, c) iff y = m*x + c (mod q).
+  for (int x = 0; x < q; ++x) {
+    for (int m = 0; m < q; ++m) {
+      for (int c = 0; c < q; ++c) {
+        const int y = (m * x + c) % q;
+        net.graph.add_edge(id0(x, y), id1(m, c));
+      }
+    }
+  }
+  net.graph.finalize();
+  attach_servers_uniform(net, servers_per_router);
+  return net;
+}
+
+}  // namespace tb

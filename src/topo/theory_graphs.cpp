@@ -1,0 +1,96 @@
+#include "topo/theory_graphs.h"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "topo/jellyfish.h"
+#include "util/rng.h"
+
+namespace tb {
+
+Network make_clustered_random(int n_per_cluster, int alpha, int beta,
+                              std::uint64_t seed) {
+  if (n_per_cluster < 2 || alpha < 1 || beta < 1) {
+    throw std::invalid_argument("make_clustered_random: bad parameters");
+  }
+  if ((static_cast<long>(n_per_cluster) * alpha) % 2 != 0) {
+    throw std::invalid_argument("make_clustered_random: n*alpha must be even");
+  }
+
+  Rng rng(seed);
+  // Within-cluster: random alpha-regular graph per cluster (reusing the
+  // degree-sequence sampler), then a random beta-regular bipartite graph
+  // across clusters via repeated perfect matchings on shuffled columns.
+  const Graph c0 = random_graph_with_degrees(
+      std::vector<int>(static_cast<std::size_t>(n_per_cluster), alpha),
+      rng());
+  const Graph c1 = random_graph_with_degrees(
+      std::vector<int>(static_cast<std::size_t>(n_per_cluster), alpha),
+      rng());
+
+  Network net;
+  net.name = "ClusteredRandom(n=" + std::to_string(2 * n_per_cluster) +
+             ",a=" + std::to_string(alpha) + ",b=" + std::to_string(beta) + ")";
+  net.graph = Graph(2 * n_per_cluster);
+  for (int e = 0; e < c0.num_edges(); ++e) {
+    net.graph.add_edge(c0.edge_u(e), c0.edge_v(e));
+  }
+  for (int e = 0; e < c1.num_edges(); ++e) {
+    net.graph.add_edge(n_per_cluster + c1.edge_u(e),
+                       n_per_cluster + c1.edge_v(e));
+  }
+  // beta cross matchings; a shuffle is re-drawn when it collides with a
+  // previously used cross edge (rare parallels tolerated after 64 tries).
+  std::set<std::pair<int, int>> cross;
+  for (int b = 0; b < beta; ++b) {
+    for (int attempt = 0;; ++attempt) {
+      const std::vector<int> perm = rng.permutation(n_per_cluster);
+      bool clash = false;
+      for (int i = 0; i < n_per_cluster && !clash; ++i) {
+        clash = cross.contains({i, perm[static_cast<std::size_t>(i)]});
+      }
+      if (!clash || attempt >= 64) {
+        for (int i = 0; i < n_per_cluster; ++i) {
+          const int j = perm[static_cast<std::size_t>(i)];
+          cross.insert({i, j});
+          net.graph.add_edge(i, n_per_cluster + j);
+        }
+        break;
+      }
+    }
+  }
+  net.graph.finalize();
+  attach_servers_uniform(net, 1);
+  return net;
+}
+
+Network make_subdivided_expander(int base_nodes, int d, int path_len,
+                                 std::uint64_t seed) {
+  if (base_nodes < 3 || d < 1 || path_len < 1) {
+    throw std::invalid_argument("make_subdivided_expander: bad parameters");
+  }
+  const Graph base = random_graph_with_degrees(
+      std::vector<int>(static_cast<std::size_t>(base_nodes), 2 * d), seed);
+
+  Network net;
+  net.name = "SubdividedExpander(N=" + std::to_string(base_nodes) + ",d=" +
+             std::to_string(d) + ",p=" + std::to_string(path_len) + ")";
+  const int extra_per_edge = path_len - 1;
+  net.graph = Graph(base_nodes + base.num_edges() * extra_per_edge);
+  int next_node = base_nodes;
+  for (int e = 0; e < base.num_edges(); ++e) {
+    int prev = base.edge_u(e);
+    for (int h = 0; h < extra_per_edge; ++h) {
+      net.graph.add_edge(prev, next_node);
+      prev = next_node++;
+    }
+    net.graph.add_edge(prev, base.edge_v(e));
+  }
+  net.graph.finalize();
+  attach_servers_uniform(net, 1);
+  return net;
+}
+
+}  // namespace tb

@@ -1,0 +1,32 @@
+// Graph families from the paper's theory section (§II-B, Appendix A):
+//
+//  * Graph A — clustered random graph (after Singla et al., NSDI'14): two
+//    equal clusters of n/2 nodes; every node has degree alpha inside its
+//    cluster and beta across, alpha + beta = 2d, beta ~ alpha / log n.
+//    Throughput and sparsest cut are both Theta(1 / (n log n)).
+//
+//  * Graph B — subdivided expander: take a 2d-regular random (expander)
+//    graph on N = n / p nodes and replace every edge with a path of p
+//    hops. Theorem 1: T_B = O(1/(n p log n)) while Phi_B = Omega(1/(n p)),
+//    so B beats A on sparsest cut yet loses on throughput — the
+//    counterexample showing cuts mispredict worst-case throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// Two-cluster random regular-ish graph; alpha/beta are within/cross
+/// degrees (alpha + beta even not required; n_per_cluster * beta must be
+/// even, as must n_per_cluster * alpha).
+Network make_clustered_random(int n_per_cluster, int alpha, int beta,
+                              std::uint64_t seed);
+
+/// 2d-regular random expander on base_nodes, each edge subdivided into a
+/// path with `path_len` edges. path_len = 1 is the plain expander.
+Network make_subdivided_expander(int base_nodes, int d, int path_len,
+                                 std::uint64_t seed);
+
+}  // namespace tb

@@ -1,0 +1,45 @@
+#include "topo/torus.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tb {
+
+Network make_torus(const std::vector<int>& dims, int servers_per_switch,
+                   bool wrap) {
+  if (dims.empty()) throw std::invalid_argument("make_torus: no dimensions");
+  long nodes = 1;
+  for (const int s : dims) {
+    if (s < 2) throw std::invalid_argument("make_torus: dim size >= 2");
+    nodes *= s;
+    if (nodes > 1'000'000) throw std::invalid_argument("make_torus: too large");
+  }
+
+  Network net;
+  net.name = std::string(wrap ? "Torus(" : "Mesh(");
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    net.name += std::to_string(dims[i]) + (i + 1 < dims.size() ? "x" : ")");
+  }
+  net.graph = Graph(static_cast<int>(nodes));
+
+  long stride = 1;
+  for (const int size : dims) {
+    for (long v = 0; v < nodes; ++v) {
+      const int digit = static_cast<int>((v / stride) % size);
+      // +1 neighbour within the dimension.
+      if (digit + 1 < size) {
+        net.graph.add_edge(static_cast<int>(v), static_cast<int>(v + stride));
+      } else if (wrap && size > 2) {
+        // Wrap link back to digit 0 (skip for size 2: already adjacent).
+        net.graph.add_edge(static_cast<int>(v),
+                           static_cast<int>(v - static_cast<long>(size - 1) * stride));
+      }
+    }
+    stride *= size;
+  }
+  net.graph.finalize();
+  attach_servers_uniform(net, servers_per_switch);
+  return net;
+}
+
+}  // namespace tb

@@ -1,0 +1,17 @@
+// k-ary n-dimensional torus (and mesh): the classic HPC interconnect
+// family, included as an extension baseline — low-degree, long paths, the
+// opposite end of the design space from the paper's expanders.
+#pragma once
+
+#include <vector>
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// dims: size per dimension (each >= 2). wrap = torus; !wrap = mesh.
+/// dims of size 2 collapse the wrap link (no parallel edges).
+Network make_torus(const std::vector<int>& dims, int servers_per_switch,
+                   bool wrap = true);
+
+}  // namespace tb

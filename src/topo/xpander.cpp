@@ -1,0 +1,47 @@
+#include "topo/xpander.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace tb {
+
+Network make_xpander(int degree, int lift, int servers_per_switch,
+                     std::uint64_t seed) {
+  if (degree < 3) throw std::invalid_argument("make_xpander: degree >= 3");
+  if (lift < 2) throw std::invalid_argument("make_xpander: lift >= 2");
+  const int blocks = degree + 1;
+  const long nodes = static_cast<long>(blocks) * lift;
+  if (nodes > 1'000'000) throw std::invalid_argument("make_xpander: too large");
+
+  Rng rng(seed);
+  Network net;
+  net.name = "Xpander(d=" + std::to_string(degree) + ",lift=" +
+             std::to_string(lift) + ")";
+
+  // Retry the lift until connected (failures are rare for lift >= 2).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Graph g(static_cast<int>(nodes));
+    // Node id: block * lift + index.
+    for (int b1 = 0; b1 < blocks; ++b1) {
+      for (int b2 = b1 + 1; b2 < blocks; ++b2) {
+        const std::vector<int> perm = rng.permutation(lift);
+        for (int i = 0; i < lift; ++i) {
+          g.add_edge(b1 * lift + i,
+                     b2 * lift + perm[static_cast<std::size_t>(i)]);
+        }
+      }
+    }
+    g.finalize();
+    if (is_connected(g)) {
+      net.graph = std::move(g);
+      attach_servers_uniform(net, servers_per_switch);
+      return net;
+    }
+  }
+  throw std::runtime_error("make_xpander: lift never connected");
+}
+
+}  // namespace tb

@@ -1,0 +1,20 @@
+// Xpander (Valadarsky, Dinitz, Schapira, HotNets'15): a deterministic
+// expander-based data-center topology the paper cites as confirming its
+// expanders-win observation. Construction: lift a complete graph K_{d+1}
+// by `lift` copies — each edge (u, v) of K_{d+1} becomes a random perfect
+// matching between u's and v's copy-blocks. The result is d-regular on
+// (d+1)*lift nodes with near-Ramanujan expansion, but structured into
+// equal-size blocks (unlike Jellyfish).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/network.h"
+
+namespace tb {
+
+/// degree d >= 3; lift >= 2: nodes = (d+1) * lift.
+Network make_xpander(int degree, int lift, int servers_per_switch,
+                     std::uint64_t seed);
+
+}  // namespace tb

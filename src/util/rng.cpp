@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace tb {
+
+std::uint64_t Rng::next_u64(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_u64(span));
+}
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  shuffle(p);
+  return p;
+}
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  assert(k >= 0 && k <= n);
+  // Partial Fisher-Yates on an index array.
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<int>(next_u64(static_cast<std::uint64_t>(n - i)));
+    std::swap(idx[static_cast<std::size_t>(i)],
+              idx[static_cast<std::size_t>(j)]);
+  }
+  idx.resize(static_cast<std::size_t>(k));
+  return idx;
+}
+
+}  // namespace tb

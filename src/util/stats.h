@@ -1,0 +1,36 @@
+// Summary statistics used by the experiment runner: every data point in the
+// paper's figures is "mean over 10 iterations with 95% two-sided confidence
+// intervals"; Summary reproduces exactly that aggregation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tb {
+
+/// Aggregate of a sample: mean, stddev and a 95% two-sided CI half-width
+/// (normal approximation for n >= 30, Student-t critical values below).
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< sample standard deviation (n-1 denominator)
+  double ci95 = 0.0;     ///< half-width of the 95% confidence interval
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary of `xs`. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> xs);
+
+/// Two-sided 95% Student-t critical value for `dof` degrees of freedom.
+double t_critical_95(std::size_t dof);
+
+/// Arithmetic mean (0 for empty input).
+double mean_of(std::span<const double> xs);
+
+/// Population-style percentile via linear interpolation, p in [0,100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace tb

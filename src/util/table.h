@@ -1,0 +1,38 @@
+// Plain-text table / CSV emission for the benchmark harness. Every bench
+// binary prints the rows or series of one paper figure or table; Table keeps
+// that output aligned and machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tb {
+
+/// A simple column-aligned table that can also render as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string fmt(double v, int precision = 4);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render space-aligned text.
+  std::string to_text() const;
+  /// Render comma-separated values.
+  std::string to_csv() const;
+
+  /// Print to `os` (text form) with an optional caption line first.
+  void print(std::ostream& os, const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tb

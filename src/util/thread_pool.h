@@ -1,0 +1,58 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The solvers parallelize per-source shortest-path batches and the experiment
+// runner parallelizes independent trials. We deliberately keep the model
+// simple: submit closures, or run an index-range parallel_for that blocks
+// until every index is processed. Workers never touch overlapping state;
+// reductions are performed by the caller after the barrier, which keeps
+// results deterministic for a fixed partitioning.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tb {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; the returned future reports completion and
+  /// propagates exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run body(i) for every i in [begin, end), distributing contiguous chunks
+  /// over the pool, and block until all complete. `grain` is the minimum
+  /// chunk size. Runs inline when the range is small or the pool has a
+  /// single worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Process-wide shared pool (size from TOPOBENCH_THREADS env or hardware).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace tb

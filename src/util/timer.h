@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for the harness (TM-generation and solver timing
+// comparisons, e.g. the Kodialam-vs-longest-matching speed claim in §II-C).
+#pragma once
+
+#include <chrono>
+
+namespace tb {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tb

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "tm/synthetic.h"
+#include "topo/hypercube.h"
+#include "topo/jellyfish.h"
+
+namespace tb {
+namespace {
+
+TEST(Registry, AllFamiliesHaveInstances) {
+  for (const Family f : all_families()) {
+    const std::vector<Network> nets = family_instances(f, 1, 1'000'000, 1);
+    EXPECT_FALSE(nets.empty()) << family_name(f);
+    int prev = 0;
+    for (const Network& net : nets) {
+      net.validate();
+      EXPECT_GE(net.total_servers(), prev) << family_name(f);
+      prev = net.total_servers();
+    }
+  }
+}
+
+TEST(Registry, FamilyNamesUnique) {
+  std::set<std::string> names;
+  for (const Family f : all_families()) {
+    EXPECT_TRUE(names.insert(family_name(f)).second);
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(Registry, RepresentativePicksNearestSize) {
+  const Network net = family_representative(Family::Hypercube, 60, 1);
+  EXPECT_EQ(net.total_servers(), 64);  // 2^6 closest to 60
+  const Network small = family_representative(Family::FatTree, 16, 1);
+  EXPECT_EQ(small.total_servers(), 16);  // k=4
+}
+
+TEST(Registry, SizeWindowFilters) {
+  const std::vector<Network> nets =
+      family_instances(Family::Hypercube, 30, 130, 1);
+  ASSERT_EQ(nets.size(), 3u);  // 32, 64, 128
+  EXPECT_EQ(nets[0].total_servers(), 32);
+  EXPECT_EQ(nets[2].total_servers(), 128);
+}
+
+TEST(Evaluator, JellyfishRelativeIsNearOne) {
+  // A random regular graph normalized by same-equipment random graphs must
+  // sit near 1 (the paper's definition of the Jellyfish baseline).
+  const Network jf = make_jellyfish(32, 5, 1, 7);
+  RelativeOptions opts;
+  opts.random_trials = 3;
+  opts.solve.epsilon = 0.03;
+  const RelativeResult r = relative_throughput(jf, all_to_all(jf), opts);
+  EXPECT_NEAR(r.relative, 1.0, 0.12);
+  EXPECT_GT(r.topo_throughput, 0.0);
+  EXPECT_EQ(r.random_throughput.n, 3u);
+}
+
+TEST(Evaluator, DeterministicGivenSeed) {
+  const Network hc = make_hypercube(4);
+  const TrafficMatrix tm = longest_matching(hc);
+  RelativeOptions opts;
+  opts.random_trials = 2;
+  opts.seed = 99;
+  const RelativeResult a = relative_throughput(hc, tm, opts);
+  const RelativeResult b = relative_throughput(hc, tm, opts);
+  EXPECT_DOUBLE_EQ(a.relative, b.relative);
+}
+
+TEST(Evaluator, HypercubeLosesToRandomAtSize) {
+  // Paper Table I: hypercube relative throughput < 1 under LM at size.
+  const Network hc = make_hypercube(6);
+  RelativeOptions opts;
+  opts.random_trials = 3;
+  opts.solve.epsilon = 0.05;
+  const RelativeResult r = relative_throughput(hc, longest_matching(hc), opts);
+  EXPECT_LT(r.relative, 0.95);
+}
+
+TEST(Evaluator, RejectsBadTrialCount) {
+  const Network hc = make_hypercube(3);
+  RelativeOptions opts;
+  opts.random_trials = 0;
+  EXPECT_THROW(relative_throughput(hc, all_to_all(hc), opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tb

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cuts/bisection.h"
+#include "cuts/sparsest_cut.h"
+#include "mcf/throughput.h"
+#include "tm/synthetic.h"
+#include "topo/hypercube.h"
+#include "topo/jellyfish.h"
+#include "topo/natural.h"
+
+namespace tb {
+namespace {
+
+Graph barbell(int clique) {
+  Graph g(2 * clique);
+  for (int u = 0; u < clique; ++u) {
+    for (int v = u + 1; v < clique; ++v) {
+      g.add_edge(u, v);
+      g.add_edge(clique + u, clique + v);
+    }
+  }
+  g.add_edge(0, clique);
+  g.finalize();
+  return g;
+}
+
+TEST(CutSparsity, HandMadeCut) {
+  // Path 0-1-2, demand 0->2 weight 2. Cut {0} vs {1,2}: capacity 1 per
+  // direction, crossing demand 2 forward only -> sparsity 1/2.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  TrafficMatrix tm;
+  tm.demands = {{0, 2, 2.0}};
+  const std::vector<std::uint8_t> side{0, 1, 1};
+  EXPECT_DOUBLE_EQ(cuts::cut_sparsity(g, tm, side), 0.5);
+}
+
+TEST(CutSparsity, NoCrossingDemandIsInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  TrafficMatrix tm;
+  tm.demands = {{0, 1, 1.0}};
+  const std::vector<std::uint8_t> side{0, 0, 1};
+  EXPECT_EQ(cuts::cut_sparsity(g, tm, side),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(CutSparsity, AsymmetricDemandTakesWorseDirection) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  TrafficMatrix tm;
+  tm.demands = {{0, 1, 4.0}, {1, 0, 1.0}};
+  const std::vector<std::uint8_t> side{0, 1};
+  // Forward 1/4, reverse 1/1 -> min is 1/4.
+  EXPECT_DOUBLE_EQ(cuts::cut_sparsity(g, tm, side), 0.25);
+}
+
+TEST(SparsestCut, BruteForceFindsBarbellBridge) {
+  const Graph g = barbell(4);
+  TrafficMatrix tm;
+  // A2A-style demand between the two cliques.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      if (u != v) tm.demands.push_back({u, v, 1.0 / 8.0});
+    }
+  }
+  const cuts::CutResult r = cuts::sparsest_cut_brute_force(g, tm);
+  // Bridge cut: capacity 1, crossing demand 4*4/8 = 2 per direction.
+  EXPECT_NEAR(r.sparsity, 0.5, 1e-12);
+  int side1 = 0;
+  for (const auto s : r.side) side1 += s;
+  EXPECT_EQ(side1, 4);
+}
+
+TEST(SparsestCut, HeuristicsNeverBeatBruteForceOnSmallGraphs) {
+  // On graphs small enough for exhaustive search, every heuristic's value
+  // is >= the true sparsest cut.
+  const Network jf = make_jellyfish(10, 3, 1, 3);
+  const TrafficMatrix tm = longest_matching(jf);
+  const cuts::CutResult exact =
+      cuts::sparsest_cut_brute_force(jf.graph, tm, 1L << 20);
+  for (const auto& r :
+       {cuts::sparsest_cut_one_node(jf.graph, tm),
+        cuts::sparsest_cut_two_node(jf.graph, tm),
+        cuts::sparsest_cut_expanding(jf.graph, tm),
+        cuts::sparsest_cut_eigenvector(jf.graph, tm)}) {
+    EXPECT_GE(r.sparsity + 1e-12, exact.sparsity) << r.method;
+  }
+}
+
+TEST(SparsestCut, EigenvectorFindsBarbellBridge) {
+  const Graph g = barbell(5);
+  TrafficMatrix tm;
+  for (int u = 0; u < 10; ++u) {
+    for (int v = 0; v < 10; ++v) {
+      if (u != v) tm.demands.push_back({u, v, 0.1});
+    }
+  }
+  const cuts::CutResult r = cuts::sparsest_cut_eigenvector(g, tm);
+  // The sweep must discover the bridge cut (capacity 1, demand 5*5*0.1=2.5).
+  EXPECT_NEAR(r.sparsity, 1.0 / 2.5, 1e-9);
+}
+
+TEST(SparsestCut, SurveyReportsWinners) {
+  const Network jf = make_jellyfish(12, 3, 1, 9);
+  const TrafficMatrix tm = longest_matching(jf);
+  const cuts::SparseCutSurvey survey = cuts::best_sparse_cut(jf.graph, tm);
+  EXPECT_EQ(survey.per_method.size(), 5u);
+  EXPECT_FALSE(survey.winners.empty());
+  for (const auto& [method, value] : survey.per_method) {
+    EXPECT_GE(value + 1e-12, survey.best.sparsity) << method;
+  }
+}
+
+TEST(SparsestCut, UpperBoundsThroughput) {
+  // Any cut upper-bounds throughput (max-flow <= min-cut direction).
+  for (const std::uint64_t seed : {1ULL, 5ULL, 7ULL}) {
+    const Network jf = make_jellyfish(14, 3, 1, seed);
+    const TrafficMatrix tm = longest_matching(jf);
+    const double thr = mcf::compute_throughput(jf, tm).throughput;
+    const cuts::SparseCutSurvey survey = cuts::best_sparse_cut(jf.graph, tm);
+    EXPECT_GE(survey.best.sparsity * (1.0 + 1e-9), thr) << "seed " << seed;
+  }
+}
+
+TEST(Bisection, ExactBalancedEnumeration) {
+  const Graph g = barbell(3);  // 6 nodes; bridge is the min balanced cut
+  TrafficMatrix tm;
+  for (int u = 0; u < 6; ++u) {
+    for (int v = 0; v < 6; ++v) {
+      if (u != v) tm.demands.push_back({u, v, 1.0 / 6.0});
+    }
+  }
+  const cuts::CutResult r = cuts::bisection_sparsity(g, tm);
+  // Bridge: cap 1, demand 3*3/6 = 1.5 each way -> sparsity 2/3.
+  EXPECT_NEAR(r.sparsity, 1.0 / 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(cuts::bisection_capacity(g), 1.0);
+}
+
+TEST(Bisection, HypercubeCapacityClosedForm) {
+  // d-cube bisection = n/2 edges.
+  const Network hc = make_hypercube(4);
+  EXPECT_DOUBLE_EQ(cuts::bisection_capacity(hc.graph), 8.0);
+}
+
+TEST(Bisection, KlPathFindsLargeGraphCut) {
+  const Graph g = barbell(12);  // 24 nodes -> KL path
+  TrafficMatrix tm;
+  for (int u = 0; u < 24; ++u) {
+    for (int v = 0; v < 24; ++v) {
+      if (u != v) tm.demands.push_back({u, v, 1.0 / 24.0});
+    }
+  }
+  const cuts::CutResult r = cuts::bisection_sparsity(g, tm, /*exact_max=*/18);
+  EXPECT_NEAR(r.sparsity, 1.0 / 6.0, 1e-9);  // cap 1 / (12*12/24)
+}
+
+TEST(Bisection, CutCannotBeBelowSparsestCut) {
+  const Network jf = make_jellyfish(12, 3, 1, 17);
+  const TrafficMatrix tm = all_to_all(jf);
+  const cuts::CutResult bis = cuts::bisection_sparsity(jf.graph, tm);
+  const cuts::CutResult sparse =
+      cuts::sparsest_cut_brute_force(jf.graph, tm, 1L << 16);
+  EXPECT_GE(bis.sparsity + 1e-12, sparse.sparsity);
+}
+
+}  // namespace
+}  // namespace tb

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+
+namespace tb::lp {
+namespace {
+
+TEST(Simplex, SimpleMaximize) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6).
+  Problem p;
+  p.maximize = true;
+  const int x = p.add_var(3.0);
+  const int y = p.add_var(5.0);
+  p.add_row({{{x, 1.0}}, Sense::LE, 4.0});
+  p.add_row({{{y, 2.0}}, Sense::LE, 12.0});
+  p.add_row({{{x, 3.0}, {y, 2.0}}, Sense::LE, 18.0});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-8);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 2.0, 1e-8);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(y)], 6.0, 1e-8);
+}
+
+TEST(Simplex, SimpleMinimizeWithGe) {
+  // min 2x + 3y  s.t. x + y >= 10, x >= 2, y >= 3 -> x=7, y=3 -> 23.
+  Problem p;
+  p.maximize = false;
+  const int x = p.add_var(2.0);
+  const int y = p.add_var(3.0);
+  p.add_row({{{x, 1.0}, {y, 1.0}}, Sense::GE, 10.0});
+  p.add_row({{{x, 1.0}}, Sense::GE, 2.0});
+  p.add_row({{{y, 1.0}}, Sense::GE, 3.0});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 23.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + y s.t. x + y = 5, x <= 3 -> 5.
+  Problem p;
+  const int x = p.add_var(1.0);
+  const int y = p.add_var(1.0);
+  p.add_row({{{x, 1.0}, {y, 1.0}}, Sense::EQ, 5.0});
+  p.add_row({{{x, 1.0}}, Sense::LE, 3.0});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-8);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)] + r.x[static_cast<std::size_t>(y)],
+              5.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  Problem p;
+  const int x = p.add_var(1.0);
+  p.add_row({{{x, 1.0}}, Sense::LE, 1.0});
+  p.add_row({{{x, 1.0}}, Sense::GE, 2.0});
+  const Result r = solve(p);
+  EXPECT_EQ(r.status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // max x with only x >= 1.
+  Problem p;
+  const int x = p.add_var(1.0);
+  p.add_row({{{x, 1.0}}, Sense::GE, 1.0});
+  const Result r = solve(p);
+  EXPECT_EQ(r.status, Status::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // max -x s.t. -x <= -2  (i.e. x >= 2): optimum -2.
+  Problem p;
+  const int x = p.add_var(-1.0);
+  p.add_row({{{x, -1.0}}, Sense::LE, -2.0});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  // A classic degenerate corner; just require optimal termination.
+  Problem p;
+  const int x = p.add_var(0.75);
+  const int y = p.add_var(-150.0);
+  const int z = p.add_var(0.02);
+  const int w = p.add_var(-6.0);
+  p.add_row({{{x, 0.25}, {y, -60.0}, {z, -0.04}, {w, 9.0}}, Sense::LE, 0.0});
+  p.add_row({{{x, 0.5}, {y, -90.0}, {z, -0.02}, {w, 3.0}}, Sense::LE, 0.0});
+  p.add_row({{{z, 1.0}}, Sense::LE, 1.0});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 0.05, 1e-6);  // Beale's example optimum 1/20
+}
+
+TEST(Simplex, DualsMatchKnownValues) {
+  // max 3x + 5y (same as SimpleMaximize): duals are (0, 1.5, 1).
+  Problem p;
+  const int x = p.add_var(3.0);
+  const int y = p.add_var(5.0);
+  p.add_row({{{x, 1.0}}, Sense::LE, 4.0});
+  p.add_row({{{y, 2.0}}, Sense::LE, 12.0});
+  p.add_row({{{x, 3.0}, {y, 2.0}}, Sense::LE, 18.0});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  ASSERT_EQ(r.dual.size(), 3u);
+  EXPECT_NEAR(r.dual[0], 0.0, 1e-7);
+  EXPECT_NEAR(r.dual[1], 1.5, 1e-7);
+  EXPECT_NEAR(r.dual[2], 1.0, 1e-7);
+  // Strong duality: b'y == c'x.
+  EXPECT_NEAR(4 * r.dual[0] + 12 * r.dual[1] + 18 * r.dual[2], r.objective,
+              1e-6);
+}
+
+TEST(Simplex, DuplicateTermsAreMerged) {
+  // max x s.t. 0.5x + 0.5x <= 3 -> 3.
+  Problem p;
+  const int x = p.add_var(1.0);
+  p.add_row({{{x, 0.5}, {x, 0.5}}, Sense::LE, 3.0});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-8);
+}
+
+TEST(Simplex, ZeroRowsMeansBoundOnlyProblem) {
+  Problem p;
+  p.maximize = false;
+  p.add_var(1.0);
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(Simplex, MaxFlowAsLp) {
+  // s-t max flow on a diamond: s->a(3), s->b(2), a->t(2), b->t(3), a->b(1).
+  // Max flow = 5 (the min cut is {a->t, b->t}). Arcs are variables with
+  // conservation at a and b.
+  Problem p;
+  const int sa = p.add_var(0.0);
+  const int sb = p.add_var(0.0);
+  const int at = p.add_var(1.0);  // objective counts arrivals at t
+  const int bt = p.add_var(1.0);
+  const int ab = p.add_var(0.0);
+  p.add_row({{{sa, 1.0}}, Sense::LE, 3.0});
+  p.add_row({{{sb, 1.0}}, Sense::LE, 2.0});
+  p.add_row({{{at, 1.0}}, Sense::LE, 2.0});
+  p.add_row({{{bt, 1.0}}, Sense::LE, 3.0});
+  p.add_row({{{ab, 1.0}}, Sense::LE, 1.0});
+  p.add_row({{{sa, 1.0}, {at, -1.0}, {ab, -1.0}}, Sense::EQ, 0.0});
+  p.add_row({{{sb, 1.0}, {ab, 1.0}, {bt, -1.0}}, Sense::EQ, 0.0});
+  const Result r = solve(p);
+  ASSERT_EQ(r.status, Status::Optimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace tb::lp

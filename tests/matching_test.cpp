@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace tb {
+namespace {
+
+bool is_permutation(const std::vector<int>& match, int n) {
+  std::set<int> seen(match.begin(), match.end());
+  return static_cast<int>(seen.size()) == n && *seen.begin() == 0 &&
+         *seen.rbegin() == n - 1;
+}
+
+TEST(Hungarian, TrivialSizes) {
+  EXPECT_TRUE(max_weight_perfect_matching({}, 0).empty());
+  const std::vector<double> w1{42.0};
+  const std::vector<int> m1 = max_weight_perfect_matching(w1, 1);
+  ASSERT_EQ(m1.size(), 1u);
+  EXPECT_EQ(m1[0], 0);
+}
+
+TEST(Hungarian, KnownSmallInstance) {
+  // Classic 3x3: max assignment picks the anti-diagonal-ish optimum.
+  const std::vector<double> w{
+      7, 4, 3,
+      3, 1, 2,
+      3, 0, 0,
+  };
+  const std::vector<int> m = max_weight_perfect_matching(w, 3);
+  EXPECT_NEAR(assignment_weight(w, 3, m), 7 + 2 + 0, 1e-12);
+  EXPECT_TRUE(is_permutation(m, 3));
+}
+
+TEST(Hungarian, MinVersionComplementsMax) {
+  const std::vector<double> w{
+      1, 9,
+      9, 1,
+  };
+  const std::vector<int> mn = min_weight_perfect_matching(w, 2);
+  EXPECT_NEAR(assignment_weight(w, 2, mn), 2.0, 1e-12);
+  const std::vector<int> mx = max_weight_perfect_matching(w, 2);
+  EXPECT_NEAR(assignment_weight(w, 2, mx), 18.0, 1e-12);
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomInstances) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_u64(6));  // 2..7
+    std::vector<double> w(static_cast<std::size_t>(n) *
+                          static_cast<std::size_t>(n));
+    for (double& x : w) x = rng.next_double(-10.0, 10.0);
+    const std::vector<int> hung = max_weight_perfect_matching(w, n);
+    const std::vector<int> brute = brute_force_matching(w, n, true);
+    EXPECT_TRUE(is_permutation(hung, n));
+    EXPECT_NEAR(assignment_weight(w, n, hung),
+                assignment_weight(w, n, brute), 1e-9)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(Hungarian, HandlesLargeForbiddenDiagonal) {
+  // Diagonal strongly penalized: result must be a derangement.
+  const int n = 6;
+  Rng rng(5);
+  std::vector<double> w(static_cast<std::size_t>(n) * n);
+  for (double& x : w) x = rng.next_double(0.0, 5.0);
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)] = -1e9;
+  }
+  const std::vector<int> m = max_weight_perfect_matching(w, n);
+  for (int i = 0; i < n; ++i) EXPECT_NE(m[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Greedy, IsValidAssignmentAndNotWorseThanHalf) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_u64(5));
+    std::vector<double> w(static_cast<std::size_t>(n) * n);
+    for (double& x : w) x = rng.next_double(0.0, 10.0);
+    const std::vector<int> greedy = greedy_matching(w, n, true);
+    const std::vector<int> opt = max_weight_perfect_matching(w, n);
+    EXPECT_TRUE(is_permutation(greedy, n));
+    // Greedy is a 1/2-approximation for max weight matching.
+    EXPECT_GE(assignment_weight(w, n, greedy) + 1e-9,
+              0.5 * assignment_weight(w, n, opt));
+  }
+}
+
+TEST(BruteForce, RejectsLargeN) {
+  std::vector<double> w(121, 0.0);
+  EXPECT_THROW(brute_force_matching(w, 11, true), std::invalid_argument);
+}
+
+TEST(Hungarian, ScalesToMidSizeInstances) {
+  const int n = 200;
+  Rng rng(77);
+  std::vector<double> w(static_cast<std::size_t>(n) * n);
+  for (double& x : w) x = rng.next_double(0.0, 100.0);
+  const std::vector<int> m = max_weight_perfect_matching(w, n);
+  EXPECT_TRUE(is_permutation(m, n));
+  // Sanity: optimal is at least the identity assignment's weight.
+  double identity = 0.0;
+  for (int i = 0; i < n; ++i) {
+    identity += w[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)];
+  }
+  EXPECT_GE(assignment_weight(w, n, m), identity);
+}
+
+}  // namespace
+}  // namespace tb

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcf/garg_konemann.h"
+#include "mcf/paths.h"
+#include "mcf/throughput.h"
+#include "tm/synthetic.h"
+#include "topo/fattree.h"
+#include "topo/hypercube.h"
+#include "topo/jellyfish.h"
+
+namespace tb {
+namespace {
+
+Graph ring(int n) {
+  Graph g(n);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  g.finalize();
+  return g;
+}
+
+TrafficMatrix single_flow(int s, int t, double amount = 1.0) {
+  TrafficMatrix tm;
+  tm.name = "single";
+  tm.demands = {{s, t, amount}};
+  return tm;
+}
+
+TEST(ExactLp, SingleFlowOnRingUsesBothDirections) {
+  // Ring of 6, flow 0 -> 3: two arc-disjoint 3-hop paths, capacity 1 each
+  // => throughput 2.
+  const Graph g = ring(6);
+  const auto r = mcf::throughput_exact_lp(g, single_flow(0, 3));
+  EXPECT_NEAR(r.throughput, 2.0, 1e-7);
+}
+
+TEST(ExactLp, TwoOpposingFlowsShareCapacity) {
+  const Graph g = ring(4);
+  TrafficMatrix tm;
+  tm.demands = {{0, 2, 1.0}, {2, 0, 1.0}};
+  // Directed arcs: each direction has its own capacity, so both flows get 2.
+  const auto r = mcf::throughput_exact_lp(g, tm);
+  EXPECT_NEAR(r.throughput, 2.0, 1e-7);
+}
+
+TEST(ExactLp, BottleneckLimitsThroughput) {
+  // Path graph 0-1-2: A2A-ish demands across the middle edge.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  TrafficMatrix tm;
+  tm.demands = {{0, 2, 1.0}, {1, 2, 1.0}};
+  // Arc 1->2 carries both flows: t * 2 <= 1 => t = 0.5.
+  const auto r = mcf::throughput_exact_lp(g, tm);
+  EXPECT_NEAR(r.throughput, 0.5, 1e-7);
+}
+
+TEST(ExactLp, RespectsCapacities) {
+  Graph g(2);
+  g.add_edge(0, 1, 3.5);
+  g.finalize();
+  const auto r = mcf::throughput_exact_lp(g, single_flow(0, 1));
+  EXPECT_NEAR(r.throughput, 3.5, 1e-7);
+}
+
+TEST(ExactLp, HypercubeAllToAllClosedForm) {
+  // d-cube, A2A with per-node egress (n-1)/n: by symmetry & edge-
+  // transitivity every arc is equally loaded; total volume per unit t is
+  // sum of demand*distance = n * avg_dist * (n-1)/n ... the LP should hit
+  // the volumetric bound exactly (hypercube A2A saturates all links).
+  const Network hc = make_hypercube(3);
+  const TrafficMatrix tm = all_to_all(hc);
+  const auto r = mcf::throughput_exact_lp(hc.graph, tm);
+  const double vol = mcf::volumetric_upper_bound(hc.graph, tm);
+  EXPECT_NEAR(r.throughput, vol, 1e-6);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(ExactLp, FatTreeIsNonBlocking) {
+  // k=4 fat tree, per-ToR hose units: every ToR has k/2 = 2 uplinks, and
+  // the Clos fabric is nonblocking, so a unit-row TM (LM) achieves exactly
+  // t = 2, and A2A (row sum (H-1)/H) achieves 2 * H/(H-1).
+  const Network ft = make_fat_tree(4);
+  const TrafficMatrix a2a = all_to_all(ft);
+  const auto r = mcf::throughput_exact_lp(ft.graph, a2a);
+  const double h = 8.0;  // edge switches
+  EXPECT_NEAR(r.throughput, 2.0 * h / (h - 1.0), 1e-6);
+
+  const TrafficMatrix lm = longest_matching(ft);
+  const auto rlm = mcf::throughput_exact_lp(ft.graph, lm);
+  EXPECT_NEAR(rlm.throughput, 2.0, 1e-6);
+}
+
+TEST(GargKonemann, MatchesExactOnSmallInstances) {
+  const Network hc = make_hypercube(3);
+  for (const auto* tm_name : {"a2a", "rm", "lm"}) {
+    TrafficMatrix tm;
+    if (std::string(tm_name) == "a2a") {
+      tm = all_to_all(hc);
+    } else if (std::string(tm_name) == "rm") {
+      tm = random_matching(hc, 1, 3);
+    } else {
+      tm = longest_matching(hc);
+    }
+    const double exact = mcf::throughput_exact_lp(hc.graph, tm).throughput;
+    mcf::GkOptions opts;
+    opts.plateau_guard = false;  // strict-epsilon certificate test
+    opts.epsilon = 0.02;
+    const mcf::GkResult gk = mcf::max_concurrent_flow(hc.graph, tm, opts);
+    EXPECT_GE(gk.throughput, exact * (1.0 - 0.025)) << tm_name;
+    EXPECT_LE(gk.throughput, exact * (1.0 + 1e-6)) << tm_name;
+    EXPECT_GE(gk.upper_bound, exact * (1.0 - 1e-6)) << tm_name;
+  }
+}
+
+TEST(GargKonemann, CertifiedGapHolds) {
+  const Network jf = make_jellyfish(40, 5, 1, 11);
+  const TrafficMatrix tm = longest_matching(jf);
+  mcf::GkOptions opts;
+  opts.plateau_guard = false;  // strict-epsilon certificate tests
+  opts.epsilon = 0.05;
+  const mcf::GkResult r = mcf::max_concurrent_flow(jf.graph, tm, opts);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_LE(r.throughput, r.upper_bound * (1.0 + 1e-9));
+  EXPECT_LE(r.upper_bound, r.throughput * (1.0 + opts.epsilon + 1e-9));
+}
+
+TEST(GargKonemann, FlowIsFeasible) {
+  const Network jf = make_jellyfish(24, 4, 1, 5);
+  const TrafficMatrix tm = random_matching(jf, 2, 7);
+  const mcf::GkResult r = mcf::max_concurrent_flow(jf.graph, tm);
+  for (int a = 0; a < jf.graph.num_arcs(); ++a) {
+    EXPECT_LE(r.arc_flow[static_cast<std::size_t>(a)],
+              jf.graph.arc_cap(a) * (1.0 + 1e-9));
+  }
+}
+
+TEST(GargKonemann, ParallelAndSerialAgree) {
+  const Network jf = make_jellyfish(32, 4, 1, 9);
+  const TrafficMatrix tm = all_to_all(jf);
+  mcf::GkOptions serial;
+  serial.parallel = false;
+  serial.epsilon = 0.05;
+  mcf::GkOptions parallel;
+  parallel.parallel = true;
+  parallel.epsilon = 0.05;
+  const double a = mcf::max_concurrent_flow(jf.graph, tm, serial).throughput;
+  const double b = mcf::max_concurrent_flow(jf.graph, tm, parallel).throughput;
+  // Identical: the block structure, not the thread count, defines routing.
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(GargKonemann, DemandScalingIsLinear) {
+  // Throughput of c*TM must be throughput(TM)/c.
+  const Network hc = make_hypercube(4);
+  TrafficMatrix tm = longest_matching(hc);
+  const double base = mcf::max_concurrent_flow(hc.graph, tm).throughput;
+  tm.scale(4.0);
+  const double quarter = mcf::max_concurrent_flow(hc.graph, tm).throughput;
+  EXPECT_NEAR(quarter, base / 4.0, base * 0.02);
+}
+
+TEST(Throughput, AutoDispatchesBySize) {
+  const Network small = make_hypercube(3);
+  const auto rs = mcf::compute_throughput(small, all_to_all(small));
+  EXPECT_EQ(rs.solver, "exact-lp");
+  const Network big = make_jellyfish(64, 5, 1, 2);
+  const auto rb = mcf::compute_throughput(big, longest_matching(big));
+  EXPECT_EQ(rb.solver, "garg-konemann");
+}
+
+TEST(Throughput, VolumetricBoundDominates) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Network jf = make_jellyfish(20, 4, 1, seed);
+    const TrafficMatrix tm = longest_matching(jf);
+    const auto r = mcf::compute_throughput(jf, tm);
+    EXPECT_LE(r.throughput,
+              mcf::volumetric_upper_bound(jf.graph, tm) * (1.0 + 1e-9));
+  }
+}
+
+TEST(Throughput, Theorem2LowerBoundHolds) {
+  // Any hose TM achieves >= T_A2A / 2: check LM against it.
+  for (const std::uint64_t seed : {4ULL, 9ULL}) {
+    const Network jf = make_jellyfish(16, 4, 1, seed);
+    const double a2a = mcf::compute_throughput(jf, all_to_all(jf)).throughput;
+    const double lm =
+        mcf::compute_throughput(jf, longest_matching(jf)).throughput;
+    EXPECT_GE(lm, a2a / 2.0 * (1.0 - 1e-6));
+  }
+}
+
+TEST(Throughput, TmOrderingA2aRmLm) {
+  // Paper Fig 4: T_A2A >= T_RM >= T_LM for every network.
+  const Network jf = make_jellyfish(24, 5, 1, 21);
+  const double a2a = mcf::compute_throughput(jf, all_to_all(jf)).throughput;
+  const double rm =
+      mcf::compute_throughput(jf, random_matching(jf, 1, 3)).throughput;
+  const double lm =
+      mcf::compute_throughput(jf, longest_matching(jf)).throughput;
+  EXPECT_GE(a2a * (1.0 + 0.05), rm);
+  EXPECT_GE(rm * (1.0 + 0.05), lm);
+}
+
+TEST(Paths, KShortestOnRing) {
+  // A ring has exactly two loopless paths between any pair; asking for 3
+  // must return only those two, shortest first.
+  const Graph g = ring(6);
+  const auto paths = mcf::k_shortest_paths(g, 0, 2, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].size(), 2u);  // 0-1-2
+  EXPECT_EQ(paths[1].size(), 4u);  // 0-5-4-3-2
+}
+
+TEST(Paths, PathsAreValidAndLoopless) {
+  const Network jf = make_jellyfish(16, 4, 1, 13);
+  const auto paths = mcf::k_shortest_paths(jf.graph, 0, 9, 6);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& p : paths) {
+    int at = 0;
+    std::set<int> visited{0};
+    for (const int a : p) {
+      EXPECT_EQ(jf.graph.arc_from(a), at);
+      at = jf.graph.arc_to(a);
+      EXPECT_TRUE(visited.insert(at).second) << "loop in path";
+    }
+    EXPECT_EQ(at, 9);
+  }
+}
+
+TEST(Paths, RestrictedLpNeverExceedsUnrestricted) {
+  const Network hc = make_hypercube(3);
+  const TrafficMatrix tm = random_matching(hc, 1, 17);
+  const double full = mcf::throughput_exact_lp(hc.graph, tm).throughput;
+  for (const int k : {1, 2, 4}) {
+    const auto sets = mcf::build_path_sets(hc.graph, tm, k);
+    const double restricted = mcf::path_restricted_throughput(hc.graph, sets);
+    EXPECT_LE(restricted, full * (1.0 + 1e-7)) << "k=" << k;
+    if (k >= 4) {
+      // With enough paths the restriction should nearly close the gap.
+      EXPECT_GE(restricted, full * 0.7);
+    }
+  }
+}
+
+TEST(Paths, CountingEstimateUnderestimatesLp) {
+  // The Yuan-style counting estimate is pessimistic vs the exact LP on the
+  // same path set (the Fig 15 methodological point).
+  const Network jf = make_jellyfish(20, 4, 1, 23);
+  const TrafficMatrix tm = random_matching(jf, 1, 29);
+  const auto sets = mcf::build_path_sets(jf.graph, tm, 4);
+  const double lp = mcf::path_restricted_throughput(jf.graph, sets);
+  const auto est = mcf::counting_throughput(jf.graph, sets);
+  EXPECT_LE(est.minimum, lp * (1.0 + 1e-7));
+}
+
+}  // namespace
+}  // namespace tb

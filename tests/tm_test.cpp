@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "tm/facebook.h"
+#include "tm/synthetic.h"
+#include "tm/traffic_matrix.h"
+#include "topo/fattree.h"
+#include "topo/hypercube.h"
+#include "topo/jellyfish.h"
+
+namespace tb {
+namespace {
+
+double out_sum(const TrafficMatrix& tm, int node) {
+  double s = 0.0;
+  for (const Demand& d : tm.demands) {
+    if (d.src == node) s += d.amount;
+  }
+  return s;
+}
+
+double in_sum(const TrafficMatrix& tm, int node) {
+  double s = 0.0;
+  for (const Demand& d : tm.demands) {
+    if (d.dst == node) s += d.amount;
+  }
+  return s;
+}
+
+TEST(TrafficMatrix, CanonicalizeMergesAndDropsSelf) {
+  TrafficMatrix tm;
+  tm.demands = {{0, 1, 0.5}, {0, 1, 0.25}, {2, 2, 3.0}, {1, 0, 1.0}};
+  tm.canonicalize();
+  ASSERT_EQ(tm.num_flows(), 2u);
+  EXPECT_DOUBLE_EQ(tm.demands[0].amount, 0.75);
+}
+
+TEST(TrafficMatrix, HoseNormalizeScalesToUnitRow) {
+  TrafficMatrix tm;
+  tm.demands = {{0, 1, 2.0}, {0, 2, 2.0}, {1, 2, 1.0}};
+  hose_normalize(tm, 3);
+  EXPECT_NEAR(tm.max_row_sum(3), 1.0, 1e-12);
+}
+
+TEST(TrafficMatrix, ValidateRejectsNonHosts) {
+  const Network ft = make_fat_tree(4);
+  TrafficMatrix tm;
+  const FatTreeInfo info = fat_tree_info(4);
+  tm.demands = {{info.first_core, info.first_edge, 0.5}};  // core has no servers
+  EXPECT_THROW(validate_tm(tm, ft), std::logic_error);
+}
+
+TEST(AllToAll, HoseRowSumsAndFlowCount) {
+  const Network hc = make_hypercube(4);
+  const TrafficMatrix tm = all_to_all(hc);
+  const int h = 16;
+  EXPECT_EQ(tm.num_flows(), static_cast<std::size_t>(h * (h - 1)));
+  for (int v = 0; v < h; ++v) {
+    EXPECT_NEAR(out_sum(tm, v), (h - 1) / static_cast<double>(h), 1e-12);
+    EXPECT_NEAR(in_sum(tm, v), (h - 1) / static_cast<double>(h), 1e-12);
+  }
+  validate_tm(tm, hc);
+}
+
+TEST(AllToAll, FatTreeUsesOnlyEdgeSwitches) {
+  const Network ft = make_fat_tree(4);
+  const TrafficMatrix tm = all_to_all(ft);
+  const FatTreeInfo info = fat_tree_info(4);
+  for (const Demand& d : tm.demands) {
+    EXPECT_LT(d.src, info.num_edge);
+    EXPECT_LT(d.dst, info.num_edge);
+  }
+}
+
+TEST(RandomMatching, OneFlowPerHostEachRound) {
+  const Network hc = make_hypercube(5);
+  for (const int k : {1, 2, 5}) {
+    const TrafficMatrix tm = random_matching(hc, k, 77);
+    validate_tm(tm, hc);
+    for (int v = 0; v < 32; ++v) {
+      EXPECT_NEAR(out_sum(tm, v), 1.0, 1e-12) << "k=" << k;
+      EXPECT_NEAR(in_sum(tm, v), 1.0, 1e-12) << "k=" << k;
+    }
+    // k rounds of weight 1/k each: no flow exceeds 1, at most k per host.
+    for (const Demand& d : tm.demands) {
+      EXPECT_LE(d.amount, 1.0 + 1e-12);
+      EXPECT_NE(d.src, d.dst);
+    }
+  }
+}
+
+TEST(RandomMatching, DeterministicPerSeed) {
+  const Network hc = make_hypercube(4);
+  const TrafficMatrix a = random_matching(hc, 2, 5);
+  const TrafficMatrix b = random_matching(hc, 2, 5);
+  ASSERT_EQ(a.num_flows(), b.num_flows());
+  for (std::size_t i = 0; i < a.num_flows(); ++i) {
+    EXPECT_EQ(a.demands[i].src, b.demands[i].src);
+    EXPECT_EQ(a.demands[i].dst, b.demands[i].dst);
+  }
+}
+
+TEST(LongestMatching, IsPermutationWithUnitDemands) {
+  const Network hc = make_hypercube(5);
+  const TrafficMatrix tm = longest_matching(hc);
+  validate_tm(tm, hc);
+  EXPECT_EQ(tm.num_flows(), 32u);
+  std::set<int> srcs;
+  std::set<int> dsts;
+  for (const Demand& d : tm.demands) {
+    EXPECT_DOUBLE_EQ(d.amount, 1.0);
+    EXPECT_TRUE(srcs.insert(d.src).second);
+    EXPECT_TRUE(dsts.insert(d.dst).second);
+  }
+}
+
+TEST(LongestMatching, HypercubePairsAntipodes) {
+  // On the hypercube the longest matching pairs each node with its
+  // bitwise complement (distance d, the diameter).
+  const int d = 4;
+  const Network hc = make_hypercube(d);
+  const TrafficMatrix tm = longest_matching(hc);
+  const std::vector<int> all = all_pairs_distances(hc.graph);
+  double total = 0.0;
+  for (const Demand& dem : tm.demands) {
+    total += apd_at(all, 16, dem.src, dem.dst);
+  }
+  EXPECT_DOUBLE_EQ(total, 16.0 * d);  // every pair at distance d
+}
+
+TEST(LongestMatching, BeatsOrMatchesGreedyAndRandom) {
+  const Network jf = make_jellyfish(24, 4, 1, 3);
+  const std::vector<int> all = all_pairs_distances(jf.graph);
+  const auto tm_len = [&](const TrafficMatrix& tm) {
+    double s = 0.0;
+    for (const Demand& d : tm.demands) s += apd_at(all, 24, d.src, d.dst);
+    return s;
+  };
+  const double lm = tm_len(longest_matching(jf));
+  const double greedy = tm_len(longest_matching_greedy(jf));
+  const double rm = tm_len(random_matching(jf, 1, 5));
+  EXPECT_GE(lm + 1e-9, greedy);
+  EXPECT_GE(lm + 1e-9, rm);
+}
+
+TEST(Kodialam, MatchesLongestMatchingObjectiveOnHypercube) {
+  // With equal unit supplies the transportation LP's optimum equals the
+  // max-weight matching value (Birkhoff): total path length = n * d.
+  const int d = 3;
+  const Network hc = make_hypercube(d);
+  const TrafficMatrix ktm = kodialam_tm(hc);
+  validate_tm(ktm, hc);
+  const std::vector<int> all = all_pairs_distances(hc.graph);
+  double total = 0.0;
+  for (const Demand& dem : ktm.demands) {
+    total += dem.amount * apd_at(all, 8, dem.src, dem.dst);
+  }
+  EXPECT_NEAR(total, 8.0 * d, 1e-6);
+}
+
+TEST(Elephants, WeightsAreTenAndOne) {
+  const Network hc = make_hypercube(5);
+  const TrafficMatrix base = longest_matching(hc);
+  const TrafficMatrix tm = with_elephants(base, 0.25, 10.0, 9);
+  int big = 0;
+  int small = 0;
+  for (const Demand& d : tm.demands) {
+    if (d.amount == 10.0) {
+      ++big;
+    } else {
+      EXPECT_DOUBLE_EQ(d.amount, 1.0);
+      ++small;
+    }
+  }
+  EXPECT_EQ(big, 8);  // 25% of 32
+  EXPECT_EQ(small, 24);
+}
+
+TEST(Elephants, FractionZeroAndOneAreUniform) {
+  const Network hc = make_hypercube(4);
+  const TrafficMatrix base = longest_matching(hc);
+  for (const double frac : {0.0, 1.0}) {
+    const TrafficMatrix tm = with_elephants(base, frac, 10.0, 9);
+    std::set<double> weights;
+    for (const Demand& d : tm.demands) weights.insert(d.amount);
+    EXPECT_EQ(weights.size(), 1u);
+  }
+}
+
+TEST(RandomMatchingServers, EmitsOneUnitPerServer) {
+  // Fat tree k=4: each edge switch has 2 servers -> out-demand 2 (up to
+  // the rare derangement collision folded into another switch's row).
+  const Network ft = make_fat_tree(4);
+  const TrafficMatrix tm = random_matching_servers(ft, 3);
+  validate_tm(tm, ft, /*check_hose=*/false);
+  double total = 0.0;
+  for (const Demand& d : tm.demands) total += d.amount;
+  // Every server sends one unit; only same-switch pairs are dropped.
+  EXPECT_GE(total, ft.total_servers() - 4);
+  EXPECT_LE(total, ft.total_servers());
+}
+
+TEST(Facebook, MapUsesFirstRacksWhenHostsExceedRacks) {
+  const Network hc = make_hypercube(7);  // 128 hosts > 64 racks
+  const std::vector<double> rack = synth_tm_hadoop(64, 1);
+  const TrafficMatrix tm = map_rack_tm(hc, rack, 64, 0);
+  EXPECT_EQ(tm.num_flows(), 64u * 63u);
+  for (const Demand& d : tm.demands) {
+    EXPECT_LT(d.src, 64);
+    EXPECT_LT(d.dst, 64);
+  }
+}
+
+TEST(Facebook, HadoopIsNearUniform) {
+  const std::vector<double> tm = synth_tm_hadoop(64, 1);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 64; ++j) {
+      if (i == j) continue;
+      const double w = tm[static_cast<std::size_t>(i) * 64 + j];
+      lo = std::min(lo, w);
+      hi = std::max(hi, w);
+    }
+  }
+  EXPECT_LT(hi / lo, 2.5);  // well under one decade of spread
+}
+
+TEST(Facebook, FrontendIsSkewed) {
+  const std::vector<double> tm = synth_tm_frontend(64, 1);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 64; ++j) {
+      if (i == j) continue;
+      const double w = tm[static_cast<std::size_t>(i) * 64 + j];
+      lo = std::min(lo, w);
+      hi = std::max(hi, w);
+    }
+  }
+  EXPECT_GT(hi / lo, 30.0);  // order-of-magnitude cache skew
+}
+
+TEST(Facebook, MapDownsamplesAndNormalizes) {
+  const Network hc = make_hypercube(5);  // 32 hosts < 64 racks
+  const std::vector<double> rack = synth_tm_frontend(64, 1);
+  const TrafficMatrix tm = map_rack_tm(hc, rack, 64, 0);
+  validate_tm(tm, hc);
+  EXPECT_NEAR(tm.max_row_sum(32), 1.0, 1e-9);
+  EXPECT_EQ(tm.num_flows(), 32u * 31u);
+}
+
+TEST(Facebook, ShuffleChangesPlacementNotWeightMultiset) {
+  const Network hc = make_hypercube(6);  // 64 hosts
+  const std::vector<double> rack = synth_tm_frontend(64, 1);
+  const TrafficMatrix sampled = map_rack_tm(hc, rack, 64, 0);
+  const TrafficMatrix shuffled = map_rack_tm(hc, rack, 64, 123);
+  EXPECT_EQ(sampled.num_flows(), shuffled.num_flows());
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (const Demand& d : sampled.demands) sum_a += d.amount;
+  for (const Demand& d : shuffled.demands) sum_b += d.amount;
+  EXPECT_NEAR(sum_a, sum_b, sum_a * 1e-6);
+  bool moved = false;
+  std::map<std::pair<int, int>, double> a;
+  for (const Demand& d : sampled.demands) a[{d.src, d.dst}] = d.amount;
+  for (const Demand& d : shuffled.demands) {
+    if (std::abs(a[{d.src, d.dst}] - d.amount) > 1e-12) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace tb
