@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable locally or from CI: configure, build
+# everything, run the full CTest suite. Mirrors the command in ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# Optional format check — soft-skipped where clang-format isn't installed.
+if command -v clang-format >/dev/null 2>&1; then
+  if ! clang-format --dry-run --Werror \
+      src/*/*.h src/*/*.cpp tests/*.cpp bench/*.h bench/*.cpp \
+      examples/*.cpp; then
+    echo "warning: clang-format found style drift (non-fatal)" >&2
+  fi
+fi
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build && ctest --output-on-failure -j"$(nproc)"

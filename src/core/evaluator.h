@@ -30,6 +30,8 @@ struct RelativeResult {
 
 /// Throughput of `net` under `tm`, normalized by same-equipment random
 /// graphs evaluated under the *same* TM (endpoints map one-to-one).
+/// Throws std::invalid_argument if `opts.random_trials < 1` and
+/// std::runtime_error if the random graphs achieve zero throughput.
 RelativeResult relative_throughput(const Network& net, const TrafficMatrix& tm,
                                    const RelativeOptions& opts = {});
 

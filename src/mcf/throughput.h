@@ -1,12 +1,15 @@
 // Throughput of (network, TM) — the paper's core metric (§II-A): the
 // maximum t such that T*t admits a feasible multicommodity flow.
 //
-// Two engines:
+// Two engines, selected by SolverKind:
 //  * ExactLP      — the source-aggregated edge-flow LP solved by our
-//                   revised simplex. Exact; intended for <= ~40 switches.
+//                   revised simplex. Exact, but the dense simplex degrades
+//                   steeply with LP size (sources x arcs flow variables).
 //  * GargKonemann — (1-eps)-approximation with a certified dual gap;
 //                   scales to thousands of switches.
-//  * Auto         — exact when small, GK otherwise.
+// SolverKind::Auto (the default) picks ExactLP only when the instance is
+// genuinely small — at most `exact_max_switches` switches (36 by default)
+// AND sources*arcs at most `exact_max_lp_size` (4096) — and GK otherwise.
 #pragma once
 
 #include <string>

@@ -30,7 +30,8 @@ struct Network {
   /// Node ids that have at least one server ("hosts" / ToRs).
   std::vector<int> host_nodes() const;
 
-  /// Sanity checks: finalized graph, connected, server vector sized right.
+  /// Sanity checks: finalized graph, connected, server vector sized to the
+  /// node count with non-negative entries, and at least one server attached.
   /// Throws std::logic_error on violation.
   void validate() const;
 };
