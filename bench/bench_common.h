@@ -1,37 +1,26 @@
 // Shared plumbing for the figure/table benches: every binary prints one
-// paper artifact as an aligned table (CSV via TOPOBENCH_CSV=1). Solver
-// accuracy and trial counts can be tightened from the environment without
-// recompiling:
+// paper artifact as an aligned table (CSV via TOPOBENCH_CSV=1). The env
+// knobs live in the experiment-runner subsystem (exp/sweep.h) — these
+// forwarders keep the not-yet-ported drivers source-compatible:
 //   TOPOBENCH_EPS    — GK certified-gap target (default per bench)
 //   TOPOBENCH_TRIALS — same-equipment random-graph samples per point
 #pragma once
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "exp/results.h"
+#include "exp/sweep.h"
 #include "util/table.h"
 
 namespace tb::bench {
 
-inline double env_eps(double fallback) {
-  if (const char* s = std::getenv("TOPOBENCH_EPS")) {
-    const double v = std::strtod(s, nullptr);
-    if (v > 0.0 && v < 0.5) return v;
-  }
-  return fallback;
-}
+inline double env_eps(double fallback) { return exp::env_eps(fallback); }
 
-inline int env_trials(int fallback) {
-  if (const char* s = std::getenv("TOPOBENCH_TRIALS")) {
-    const long v = std::strtol(s, nullptr, 10);
-    if (v >= 1 && v <= 100) return static_cast<int>(v);
-  }
-  return fallback;
-}
+inline int env_trials(int fallback) { return exp::env_trials(fallback); }
 
 inline void emit(const Table& table, const std::string& caption) {
-  if (const char* s = std::getenv("TOPOBENCH_CSV"); s && s[0] == '1') {
+  if (exp::csv_mode()) {
     std::cout << "# " << caption << '\n' << table.to_csv();
   } else {
     table.print(std::cout, caption);

@@ -7,38 +7,49 @@
 // LM pushes BCube / Hypercube / HyperX (and nearly Dragonfly) to the
 // bound, while on fat trees LM stays at the A2A level (the bound is loose
 // there, not the metric).
+//
+// Runs on the experiment runner: TOPOBENCH_CSV=1 emits the uniform cell
+// CSV, TOPOBENCH_TARGET_SERVERS shrinks the instances for smoke runs.
 #include <iostream>
 #include <string>
 
-#include "bench_common.h"
-#include "core/registry.h"
-#include "mcf/throughput.h"
-#include "tm/synthetic.h"
+#include "exp/runner.h"
+#include "util/table.h"
 
 int main() {
   using namespace tb;
-  const double eps = bench::env_eps(0.05);
-  const int target_servers = 128;
+  const std::string caption =
+      "Fig 4: throughput normalized so the Theorem-2 lower bound = 1";
+
+  exp::Sweep sweep;
+  sweep.solve.epsilon = exp::env_eps(0.05);
+  sweep.base_seed = 11;
+  const int target =
+      exp::env_int("TOPOBENCH_TARGET_SERVERS", 128, 4, 1'000'000);
+  for (const Family f : all_families()) {
+    sweep.topologies.push_back(exp::representative_spec(f, target, /*seed=*/1));
+  }
+  sweep.tms = {exp::a2a_tm(), exp::random_matching_tm(5),
+               exp::random_matching_tm(1), exp::longest_matching_tm()};
+
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  if (exp::csv_mode()) {
+    rs.emit(std::cout, caption);
+    return 0;
+  }
 
   Table table({"topology", "servers", "A2A", "RM(5)", "RM(1)", "LM"});
-  for (const Family f : all_families()) {
-    const Network net = family_representative(f, target_servers, /*seed=*/1);
-    mcf::SolveOptions opts;
-    opts.epsilon = eps;
-    const double a2a =
-        mcf::compute_throughput(net, all_to_all(net), opts).throughput;
-    const double bound = a2a / 2.0;
-    const double rm5 =
-        mcf::compute_throughput(net, random_matching(net, 5, 11), opts).throughput;
-    const double rm1 =
-        mcf::compute_throughput(net, random_matching(net, 1, 11), opts).throughput;
-    const double lm =
-        mcf::compute_throughput(net, longest_matching(net), opts).throughput;
-    table.add_row({family_name(f), std::to_string(net.total_servers()),
-                   Table::fmt(a2a / bound, 3), Table::fmt(rm5 / bound, 3),
-                   Table::fmt(rm1 / bound, 3), Table::fmt(lm / bound, 3)});
+  for (const exp::TopoSpec& topo : sweep.topologies) {
+    const exp::CellResult& a2a = rs.at(topo.label, "A2A");
+    const double bound = a2a.throughput / 2.0;
+    table.add_row({topo.label, std::to_string(a2a.servers),
+                   Table::fmt(a2a.throughput / bound, 3),
+                   Table::fmt(rs.at(topo.label, "RM(5)").throughput / bound, 3),
+                   Table::fmt(rs.at(topo.label, "RM(1)").throughput / bound, 3),
+                   Table::fmt(rs.at(topo.label, "LM").throughput / bound, 3)});
   }
-  bench::emit(table,
-              "Fig 4: throughput normalized so the Theorem-2 lower bound = 1");
+  table.print(std::cout, caption);
+  std::cout << '\n';
   return 0;
 }

@@ -6,13 +6,27 @@
 // Paper claims reproduced: relative performance of most of these families
 // degrades with scale; which family "wins" depends on the TM (Dragonfly
 // strong under A2A, fat tree strongest under LM at the largest sizes).
-#include "scaling_common.h"
+//
+// Runs on the experiment runner: TOPOBENCH_CSV=1 emits the uniform cell
+// CSV, TOPOBENCH_MAX_SERVERS shrinks the ladder for smoke runs.
+#include <iostream>
+
+#include "exp/runner.h"
 
 int main() {
   using namespace tb;
-  bench::scaling_sweep(
+  const std::string caption = "Fig 5: relative throughput vs size (part 1)";
+  const exp::Sweep sweep = exp::relative_scaling_sweep(
       {Family::BCube, Family::DCell, Family::Dragonfly, Family::FatTree,
        Family::FlattenedBF, Family::Hypercube},
-      "Fig 5: relative throughput vs size (part 1)", /*max_servers=*/500);
+      /*max_servers=*/500);
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  if (exp::csv_mode()) {
+    rs.emit(std::cout, caption);
+  } else {
+    exp::relative_pivot(rs, sweep).print(std::cout, caption);
+    std::cout << '\n';
+  }
   return 0;
 }

@@ -5,39 +5,51 @@
 // Dragonfly 95/76/72, Fat tree 65/73/89, Flattened BF 59/71/47, Hypercube
 // 72/84/51 (percent). Shape expectations: all below 100%; fat tree is the
 // only family whose LM column beats its A2A column.
+//
+// Runs on the experiment runner: TOPOBENCH_CSV=1 emits the uniform cell
+// CSV, TOPOBENCH_TARGET_SERVERS shrinks the instances for smoke runs.
 #include <iostream>
 #include <string>
 
-#include "bench_common.h"
-#include "core/evaluator.h"
-#include "core/registry.h"
-#include "tm/synthetic.h"
+#include "exp/runner.h"
+#include "util/table.h"
 
 int main() {
   using namespace tb;
-  const double eps = bench::env_eps(0.10);
-  const int trials = bench::env_trials(2);
+  const std::string caption =
+      "Table I: relative throughput at the largest size tested";
 
-  Table table({"topology", "servers", "All-To-All", "RandomMatching",
-               "LongestMatching"});
+  exp::Sweep sweep;
+  sweep.solve.epsilon = exp::env_eps(0.10);
+  sweep.trials = exp::env_trials(2);
+  sweep.base_seed = 2000;
+  const int target =
+      exp::env_int("TOPOBENCH_TARGET_SERVERS", 1'000'000, 4, 1'000'000);
   for (const Family f :
        {Family::BCube, Family::DCell, Family::Dragonfly, Family::FatTree,
         Family::FlattenedBF, Family::Hypercube}) {
-    const Network net = family_representative(f, 1'000'000, /*seed=*/1);
-    RelativeOptions opts;
-    opts.random_trials = trials;
-    opts.solve.epsilon = eps;
-    opts.seed = 2000 + static_cast<std::uint64_t>(f);
-    const double a2a =
-        relative_throughput(net, all_to_all(net), opts).relative;
-    const double rm =
-        relative_throughput(net, random_matching(net, 1, 17), opts).relative;
-    const double lm =
-        relative_throughput(net, longest_matching(net), opts).relative;
-    const auto pct = [](double v) { return Table::fmt(100.0 * v, 1) + "%"; };
-    table.add_row({family_name(f), std::to_string(net.total_servers()),
-                   pct(a2a), pct(rm), pct(lm)});
+    sweep.topologies.push_back(exp::representative_spec(f, target, /*seed=*/1));
   }
-  bench::emit(table, "Table I: relative throughput at the largest size tested");
+  sweep.tms = {exp::a2a_tm(), exp::random_matching_tm(1),
+               exp::longest_matching_tm()};
+
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  if (exp::csv_mode()) {
+    rs.emit(std::cout, caption);
+    return 0;
+  }
+
+  Table table({"topology", "servers", "All-To-All", "RandomMatching",
+               "LongestMatching"});
+  const auto pct = [](double v) { return Table::fmt(100.0 * v, 1) + "%"; };
+  for (const exp::TopoSpec& topo : sweep.topologies) {
+    const exp::CellResult& a2a = rs.at(topo.label, "A2A");
+    table.add_row({topo.label, std::to_string(a2a.servers), pct(a2a.relative),
+                   pct(rs.at(topo.label, "RM(1)").relative),
+                   pct(rs.at(topo.label, "LM").relative)});
+  }
+  table.print(std::cout, caption);
+  std::cout << '\n';
   return 0;
 }

@@ -15,4 +15,7 @@ fi
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
+# The suite includes runner_csv_determinism, which runs a runner-ported
+# bench driver at a tiny size in serial and parallel modes and diffs the
+# emitted CSVs (see tests/runner_determinism.cmake).
 cd build && ctest --output-on-failure -j"$(nproc)"

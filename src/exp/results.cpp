@@ -1,0 +1,223 @@
+#include "exp/results.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace tb::exp {
+namespace {
+
+constexpr const char* kCsvHeader =
+    "cell,topology,servers,switches,tm,seed,solver,trials,throughput,"
+    "random_mean,random_ci95,relative,relative_ci95";
+
+/// %.17g round-trips every finite double exactly; NaN becomes "na".
+std::string num(double v) {
+  if (std::isnan(v)) return "na";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Shorter rendering for the human-readable table view.
+std::string num_short(double v) {
+  if (std::isnan(v)) return "na";
+  return Table::fmt(v, 4);
+}
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Split one CSV line honoring RFC-4180 quoting.
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+double parse_num(const std::string& s) {
+  if (s == "na") return std::numeric_limits<double>::quiet_NaN();
+  return std::strtod(s.c_str(), nullptr);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// JSON has no NaN literal; the sentinel becomes null.
+std::string json_num(double v) { return std::isnan(v) ? "null" : num(v); }
+
+}  // namespace
+
+const CellResult& ResultSet::at(const std::string& topology,
+                                const std::string& tm) const {
+  for (const CellResult& r : rows_) {
+    if (r.topology == topology && r.tm == tm) return r;
+  }
+  throw std::out_of_range("ResultSet::at: no cell (" + topology + ", " + tm +
+                          ")");
+}
+
+std::string ResultSet::to_csv() const {
+  std::ostringstream out;
+  out << kCsvHeader << '\n';
+  for (const CellResult& r : rows_) {
+    out << r.cell << ',' << csv_quote(r.topology) << ',' << r.servers << ','
+        << r.switches << ',' << csv_quote(r.tm) << ',' << r.seed << ','
+        << csv_quote(r.solver) << ',' << r.trials << ',' << num(r.throughput)
+        << ',' << num(r.random_mean) << ',' << num(r.random_ci95) << ','
+        << num(r.relative) << ',' << num(r.relative_ci95) << '\n';
+  }
+  return out.str();
+}
+
+std::string ResultSet::to_json() const {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const CellResult& r = rows_[i];
+    out << "  {\"cell\": " << r.cell << ", \"topology\": \""
+        << json_escape(r.topology) << "\", \"servers\": " << r.servers
+        << ", \"switches\": " << r.switches << ", \"tm\": \""
+        << json_escape(r.tm) << "\", \"seed\": " << r.seed
+        << ", \"solver\": \"" << json_escape(r.solver)
+        << "\", \"trials\": " << r.trials
+        << ", \"throughput\": " << json_num(r.throughput)
+        << ", \"random_mean\": " << json_num(r.random_mean)
+        << ", \"random_ci95\": " << json_num(r.random_ci95)
+        << ", \"relative\": " << json_num(r.relative)
+        << ", \"relative_ci95\": " << json_num(r.relative_ci95) << "}"
+        << (i + 1 < rows_.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+  return out.str();
+}
+
+ResultSet ResultSet::from_csv(const std::string& csv) {
+  ResultSet rs;
+  std::istringstream in(csv);
+  std::string line;
+  std::string record;
+  bool saw_header = false;
+  // A record spans physical lines while a quote is open (quoted fields may
+  // legally contain newlines); quote parity decides, since escaped ""
+  // contributes an even count.
+  const auto quotes_balanced = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '"') % 2 == 0;
+  };
+  while (std::getline(in, line)) {
+    if (record.empty()) {
+      if (line.empty() || line[0] == '#') continue;
+      record = line;
+    } else {
+      record += '\n';
+      record += line;
+    }
+    if (!quotes_balanced(record)) continue;
+    if (!saw_header) {
+      if (record != kCsvHeader) {
+        throw std::invalid_argument("ResultSet::from_csv: unexpected header");
+      }
+      saw_header = true;
+      record.clear();
+      continue;
+    }
+    const std::vector<std::string> f = csv_split(record);
+    record.clear();
+    if (f.size() != 13) {
+      throw std::invalid_argument("ResultSet::from_csv: bad row arity");
+    }
+    CellResult r;
+    r.cell = static_cast<std::size_t>(std::strtoull(f[0].c_str(), nullptr, 10));
+    r.topology = f[1];
+    r.servers = static_cast<int>(std::strtol(f[2].c_str(), nullptr, 10));
+    r.switches = static_cast<int>(std::strtol(f[3].c_str(), nullptr, 10));
+    r.tm = f[4];
+    r.seed = std::strtoull(f[5].c_str(), nullptr, 10);
+    r.solver = f[6];
+    r.trials = static_cast<int>(std::strtol(f[7].c_str(), nullptr, 10));
+    r.throughput = parse_num(f[8]);
+    r.random_mean = parse_num(f[9]);
+    r.random_ci95 = parse_num(f[10]);
+    r.relative = parse_num(f[11]);
+    r.relative_ci95 = parse_num(f[12]);
+    rs.add(std::move(r));
+  }
+  if (!record.empty()) {
+    throw std::invalid_argument("ResultSet::from_csv: unterminated quote");
+  }
+  if (!saw_header) {
+    throw std::invalid_argument("ResultSet::from_csv: no header line");
+  }
+  return rs;
+}
+
+void ResultSet::emit(std::ostream& os, const std::string& caption) const {
+  if (csv_mode()) {
+    os << "# " << caption << '\n' << to_csv();
+  } else {
+    Table table({"cell", "topology", "servers", "switches", "tm", "seed",
+                 "solver", "trials", "throughput", "random_mean",
+                 "random_ci95", "relative", "relative_ci95"});
+    for (const CellResult& r : rows_) {
+      table.add_row({std::to_string(r.cell), r.topology,
+                     std::to_string(r.servers), std::to_string(r.switches),
+                     r.tm, std::to_string(r.seed), r.solver,
+                     std::to_string(r.trials), num_short(r.throughput),
+                     num_short(r.random_mean), num_short(r.random_ci95),
+                     num_short(r.relative), num_short(r.relative_ci95)});
+    }
+    table.print(os, caption);
+  }
+  os << '\n';
+}
+
+bool csv_mode() {
+  const char* s = std::getenv("TOPOBENCH_CSV");
+  return s != nullptr && s[0] == '1';
+}
+
+}  // namespace tb::exp

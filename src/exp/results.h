@@ -1,0 +1,66 @@
+// Uniform result records for experiment sweeps. Every ported driver emits
+// the same columns, so figure/table output is machine-parseable across the
+// whole bench suite instead of per-driver ad-hoc tables.
+//
+// NaN sentinel: fields that do not apply — the random-graph baseline of an
+// absolute (trials == 0) cell, or the CI of a single-trial cell — are quiet
+// NaN in memory, rendered as "na" in CSV and null in JSON, and parsed back
+// to NaN by from_csv. They are never 0, which would read as an exact value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tb::exp {
+
+/// One evaluated sweep cell.
+struct CellResult {
+  std::size_t cell = 0;      ///< index in sweep expansion order
+  std::string topology;      ///< instance name (TopoSpec label)
+  int servers = 0;
+  int switches = 0;
+  std::string tm;            ///< TmSpec label
+  std::uint64_t seed = 0;    ///< cell seed: mix_seed(base_seed, cell)
+  std::string solver;        ///< solver configuration label
+  int trials = 0;            ///< random-graph samples (0 = absolute mode)
+  double throughput = 0.0;   ///< topology throughput
+  double random_mean = std::numeric_limits<double>::quiet_NaN();
+  double random_ci95 = std::numeric_limits<double>::quiet_NaN();
+  double relative = std::numeric_limits<double>::quiet_NaN();
+  double relative_ci95 = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// An ordered collection of cell results with uniform CSV/JSON emission.
+/// CSV round-trips exactly: doubles are written with 17 significant digits
+/// and fields containing separators are RFC-4180 quoted.
+class ResultSet {
+ public:
+  void add(CellResult r) { rows_.push_back(std::move(r)); }
+  const std::vector<CellResult>& rows() const noexcept { return rows_; }
+  std::size_t size() const noexcept { return rows_.size(); }
+
+  /// First row matching (topology, tm). Throws std::out_of_range if absent.
+  const CellResult& at(const std::string& topology,
+                       const std::string& tm) const;
+
+  std::string to_csv() const;
+  std::string to_json() const;
+  static ResultSet from_csv(const std::string& csv);
+
+  /// CSV to `os` when TOPOBENCH_CSV=1 (prefixed "# caption"), otherwise an
+  /// aligned human-readable table.
+  void emit(std::ostream& os, const std::string& caption) const;
+
+ private:
+  std::vector<CellResult> rows_;
+};
+
+/// True when TOPOBENCH_CSV=1: drivers print the uniform ResultSet CSV
+/// instead of their derived figure tables.
+bool csv_mode();
+
+}  // namespace tb::exp

@@ -1,0 +1,177 @@
+#include "exp/runner.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tb::exp {
+namespace {
+
+/// Exact solver configuration for cache identity: every field that can
+/// change a result (kind, full-precision epsilon, both Auto-dispatch
+/// thresholds). `parallel` is deliberately excluded — results are
+/// scheduling-invariant by contract, and keying on it would miss between
+/// serial and parallel runs of the same configuration.
+std::string solve_fingerprint(const mcf::SolveOptions& o) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "k%d|e%.17g|s%d|z%ld",
+                static_cast<int>(o.kind), o.epsilon, o.exact_max_switches,
+                o.exact_max_lp_size);
+  return buf;
+}
+
+std::string cache_key(const std::string& topo, const std::string& tm,
+                      std::uint64_t seed, const mcf::SolveOptions& solve,
+                      int trials) {
+  // \x1f (unit separator) cannot occur in labels built from names.
+  return topo + '\x1f' + tm + '\x1f' + std::to_string(seed) + '\x1f' +
+         solve_fingerprint(solve) + '\x1f' + std::to_string(trials);
+}
+
+}  // namespace
+
+std::string solver_label(const mcf::SolveOptions& opts) {
+  char eps[24];
+  std::snprintf(eps, sizeof(eps), "%g", opts.epsilon);
+  switch (opts.kind) {
+    case mcf::SolverKind::ExactLP:
+      return "exact-lp";
+    case mcf::SolverKind::GargKonemann:
+      return std::string("gk(eps=") + eps + ")";
+    case mcf::SolverKind::Auto:
+      return std::string("auto(eps=") + eps + ")";
+  }
+  return "?";
+}
+
+CellResult Runner::eval_cell(const Sweep& sweep,
+                             const std::string& topo_label, const Network& net,
+                             const TmSpec& tm_spec,
+                             std::size_t cell_index) const {
+  CellResult r;
+  r.cell = cell_index;
+  // The spec label, not net.name: the label is the identity rows and cache
+  // keys agree on, and caller-authored specs may name instances freely.
+  r.topology = topo_label;
+  r.servers = net.total_servers();
+  r.switches = net.graph.num_nodes();
+  r.tm = tm_spec.label;
+  const std::uint64_t cell_seed = mix_seed(sweep.base_seed, cell_index);
+  r.seed = cell_seed;
+  r.solver = solver_label(sweep.solve);
+  const TrafficMatrix tm = tm_spec.build(net, mix_seed(cell_seed, 0));
+  if (sweep.trials <= 0) {
+    r.trials = 0;
+    r.throughput = mcf::compute_throughput(net, tm, sweep.solve).throughput;
+  } else {
+    r.trials = sweep.trials;
+    RelativeOptions ropts;
+    ropts.random_trials = sweep.trials;
+    ropts.seed = cell_seed;  // trial t samples mix_seed(base, cell, t)
+    ropts.solve = sweep.solve;
+    const RelativeResult rel = relative_throughput(net, tm, ropts);
+    r.throughput = rel.topo_throughput;
+    r.random_mean = rel.random_throughput.mean;
+    r.random_ci95 = rel.random_throughput.ci95;
+    r.relative = rel.relative;
+    r.relative_ci95 = rel.relative_ci95;
+  }
+  return r;
+}
+
+ResultSet Runner::run(const Sweep& sweep) {
+  if (sweep.topologies.empty() || sweep.tms.empty()) {
+    throw std::invalid_argument("Runner::run: empty sweep");
+  }
+  const std::vector<Cell> cells = expand(sweep);
+
+  std::vector<CellResult> out(cells.size());
+  std::vector<std::size_t> misses;  // cell indices needing evaluation
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Cell& c : cells) {
+      const std::string key = cache_key(
+          sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
+          mix_seed(sweep.base_seed, c.index), sweep.solve, sweep.trials);
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        out[c.index] = it->second;
+        out[c.index].cell = c.index;
+        ++stats_.hits;
+      } else {
+        misses.push_back(c.index);
+      }
+    }
+  }
+
+  // Build only the topologies that still have cells to evaluate (a fully
+  // cached re-run pays no build cost); cells of a topology share the
+  // instance.
+  std::vector<std::shared_ptr<const Network>> nets(sweep.topologies.size());
+  for (const std::size_t index : misses) {
+    const Cell& c = cells[index];
+    if (!nets[c.topo]) nets[c.topo] = sweep.topologies[c.topo].build();
+  }
+
+  // Evaluate the missing cells — concurrently when allowed — writing each
+  // result into its own slot; everything below the barrier is a
+  // deterministic reduction in cell order.
+  const auto eval = [&](std::size_t k) {
+    const Cell& c = cells[misses[k]];
+    out[c.index] = eval_cell(sweep, sweep.topologies[c.topo].label,
+                             *nets[c.topo], sweep.tms[c.tm], c.index);
+  };
+  ThreadPool& pool = ThreadPool::shared();
+  if (parallel_ && misses.size() > 1 && pool.size() > 1) {
+    pool.parallel_for(0, misses.size(), eval);
+  } else {
+    for (std::size_t k = 0; k < misses.size(); ++k) eval(k);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::size_t index : misses) {
+      const Cell& c = cells[index];
+      cache_.emplace(cache_key(sweep.topologies[c.topo].label,
+                               sweep.tms[c.tm].label, out[index].seed,
+                               sweep.solve, sweep.trials),
+                     out[index]);
+      ++stats_.misses;
+    }
+  }
+
+  ResultSet rs;
+  for (CellResult& r : out) rs.add(std::move(r));
+  return rs;
+}
+
+Table relative_pivot(const ResultSet& rs, const Sweep& sweep) {
+  std::vector<std::string> header{"topology", "servers", "switches"};
+  for (const TmSpec& tm : sweep.tms) header.push_back("rel_" + tm.label);
+  if (!sweep.tms.empty()) {
+    header.push_back("ci95_" + sweep.tms.back().label);
+  }
+  Table table(std::move(header));
+  for (const TopoSpec& topo : sweep.topologies) {
+    std::vector<std::string> row;
+    const CellResult& first = rs.at(topo.label, sweep.tms.front().label);
+    row.push_back(topo.label);
+    row.push_back(std::to_string(first.servers));
+    row.push_back(std::to_string(first.switches));
+    for (const TmSpec& tm : sweep.tms) {
+      row.push_back(Table::fmt(rs.at(topo.label, tm.label).relative, 3));
+    }
+    const double ci = rs.at(topo.label, sweep.tms.back().label).relative_ci95;
+    row.push_back(std::isnan(ci) ? "na" : Table::fmt(ci, 3));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace tb::exp

@@ -1,0 +1,73 @@
+// Executes sweeps on the shared thread pool with deterministic per-cell
+// seeding and an in-process result cache.
+//
+// Seeding contract: a cell's seed is mix_seed(base_seed, cell_index); its
+// traffic matrix is built with mix_seed(base, cell, 0) and random-graph
+// trial t in [1..trials] draws its same-equipment graph from
+// mix_seed(base, cell, t). Cells run concurrently on ThreadPool::shared()
+// (nested solver parallelism degrades inline — see thread_pool.h) and the
+// ResultSet is assembled after the barrier in cell order, so for a fixed
+// base seed the output is byte-identical for any thread count, including
+// TOPOBENCH_THREADS=1.
+//
+// Cache contract: results are memoized under (topology label, TM label,
+// cell seed, solver configuration, trial count). Because the cell seed is
+// derived from the flat expansion index, a lookup hits only when the cell
+// sits at the same index under the same base seed: exact re-runs of a
+// sweep hit entirely, and sweeps extended by appending topologies (with
+// the TM list unchanged) hit on their shared prefix. Inserting topologies
+// or changing the TM list shifts later indices and re-evaluates those
+// cells. Labels are trusted as identities (see sweep.h).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exp/results.h"
+#include "exp/sweep.h"
+#include "util/table.h"
+
+namespace tb::exp {
+
+struct CacheStats {
+  std::size_t hits = 0;    ///< cells answered from the cache
+  std::size_t misses = 0;  ///< cells actually evaluated
+};
+
+class Runner {
+ public:
+  /// `parallel = false` forces cells onto the calling thread (the solver
+  /// and evaluator still honor Sweep::solve.parallel independently).
+  explicit Runner(bool parallel = true) : parallel_(parallel) {}
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Evaluate every cell of `sweep` and return results in cell order.
+  ResultSet run(const Sweep& sweep);
+
+  const CacheStats& cache_stats() const noexcept { return stats_; }
+
+ private:
+  CellResult eval_cell(const Sweep& sweep, const std::string& topo_label,
+                       const Network& net, const TmSpec& tm,
+                       std::size_t cell_index) const;
+
+  bool parallel_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, CellResult> cache_;
+  CacheStats stats_;
+};
+
+/// Human-readable label of a solver configuration ("auto(eps=0.1)",
+/// "exact-lp", "gk(eps=0.03)"); part of the result rows and cache key.
+std::string solver_label(const mcf::SolveOptions& opts);
+
+/// Pivot a relative-mode sweep into the scaling-figure shape: one row per
+/// topology with rel_<tm> columns plus the CI of the last TM (the paper's
+/// Figs. 5/6 layout).
+Table relative_pivot(const ResultSet& rs, const Sweep& sweep);
+
+}  // namespace tb::exp

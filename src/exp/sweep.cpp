@@ -1,0 +1,116 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "tm/synthetic.h"
+
+namespace tb::exp {
+
+std::vector<Cell> expand(const Sweep& s) {
+  std::vector<Cell> cells;
+  cells.reserve(s.topologies.size() * s.tms.size());
+  for (std::size_t t = 0; t < s.topologies.size(); ++t) {
+    for (std::size_t m = 0; m < s.tms.size(); ++m) {
+      cells.push_back({cells.size(), t, m});
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+/// Wrap an already-built instance: the label is the network's own name, so
+/// the label <-> instance contract holds by construction.
+TopoSpec spec_of(Network net) {
+  auto shared = std::make_shared<const Network>(std::move(net));
+  return {shared->name, [shared] { return shared; }};
+}
+
+}  // namespace
+
+std::vector<TopoSpec> ladder_specs(const std::vector<Family>& families,
+                                   int min_servers, int max_servers,
+                                   std::uint64_t seed) {
+  std::vector<TopoSpec> specs;
+  for (const Family f : families) {
+    for (Network& net : family_instances(f, min_servers, max_servers, seed)) {
+      specs.push_back(spec_of(std::move(net)));
+    }
+  }
+  return specs;
+}
+
+TopoSpec representative_spec(Family f, int target_servers,
+                             std::uint64_t seed) {
+  return spec_of(family_representative(f, target_servers, seed));
+}
+
+Sweep relative_scaling_sweep(const std::vector<Family>& families,
+                             int max_servers) {
+  Sweep s;
+  s.topologies = ladder_specs(
+      families, 8, env_int("TOPOBENCH_MAX_SERVERS", max_servers, 8, 1000000),
+      /*seed=*/1);
+  s.tms = {a2a_tm(), random_matching_tm(1), longest_matching_tm()};
+  // Single-core default: a 10% certified gap is well below the separations
+  // the figures exhibit; tighten with TOPOBENCH_EPS for publication runs.
+  s.solve.epsilon = env_eps(0.10);
+  s.trials = env_trials(2);
+  s.base_seed = 1000;
+  return s;
+}
+
+TmSpec a2a_tm() {
+  return {"A2A", [](const Network& net, std::uint64_t) {
+            return all_to_all(net);
+          }};
+}
+
+TmSpec random_matching_tm(int k) {
+  return {"RM(" + std::to_string(k) + ")",
+          [k](const Network& net, std::uint64_t seed) {
+            return random_matching(net, k, seed);
+          }};
+}
+
+TmSpec longest_matching_tm() {
+  return {"LM", [](const Network& net, std::uint64_t) {
+            return longest_matching(net);
+          }};
+}
+
+double env_eps(double fallback) {
+  if (const char* s = std::getenv("TOPOBENCH_EPS")) {
+    const double v = std::strtod(s, nullptr);
+    if (v > 0.0 && v < 0.5) return v;
+  }
+  return fallback;
+}
+
+int env_trials(int fallback) {
+  // Legacy semantics (unlike env_int): an out-of-range value means "use the
+  // per-bench default", not "clamp" — scripts predating the runner rely on
+  // e.g. TOPOBENCH_TRIALS=0 falling back rather than yielding one trial.
+  if (const char* s = std::getenv("TOPOBENCH_TRIALS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v >= 1 && v <= 100) return static_cast<int>(v);
+  }
+  return fallback;
+}
+
+int env_int(const char* name, int fallback, int lo, int hi) {
+  if (const char* s = std::getenv(name)) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s) {
+      return static_cast<int>(
+          std::clamp(v, static_cast<long>(lo), static_cast<long>(hi)));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace tb::exp

@@ -1,0 +1,103 @@
+// Declarative experiment sweeps. The paper's figures and tables are all
+// grids of (topology instance, traffic-matrix family) cells evaluated with
+// one solver configuration and a fixed number of random-graph trials; a
+// Sweep describes such a grid and the Runner executes it (see runner.h for
+// the seeding and caching contract).
+//
+// TopoSpec.build must be deterministic and its label must uniquely
+// identify the returned instance — the label is the results/cache identity
+// of the topology, so two specs with equal labels must build equal
+// networks. The registry-backed builders below capture a fully constructed
+// instance, which makes that trivially true.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "mcf/throughput.h"
+#include "tm/traffic_matrix.h"
+#include "topo/network.h"
+
+namespace tb::exp {
+
+/// Produces one topology instance. `label` is the stable identity used in
+/// result rows and cache keys. Returning a shared pointer lets specs hand
+/// out a single prebuilt instance without deep-copying the graph per call.
+struct TopoSpec {
+  std::string label;
+  std::function<std::shared_ptr<const Network>()> build;
+};
+
+/// Produces a traffic matrix for a network. Randomized families (random
+/// matchings) consume `seed`; deterministic ones ignore it.
+struct TmSpec {
+  std::string label;
+  std::function<TrafficMatrix(const Network&, std::uint64_t seed)> build;
+};
+
+/// The grid: every topology crossed with every TM family.
+struct Sweep {
+  std::vector<TopoSpec> topologies;
+  std::vector<TmSpec> tms;
+  mcf::SolveOptions solve;
+  int trials = 0;              ///< 0: absolute throughput; >0: relative mode
+                               ///< with this many same-equipment random
+                               ///< graphs per cell
+  std::uint64_t base_seed = 1; ///< root of all per-cell seed streams
+};
+
+/// One cell of the expanded grid: indices into the sweep's topology and TM
+/// lists plus the flat expansion index that seeds the cell.
+struct Cell {
+  std::size_t index = 0;
+  std::size_t topo = 0;
+  std::size_t tm = 0;
+};
+
+/// Row-major (topology-major) expansion: cell index = topo * #tms + tm.
+std::vector<Cell> expand(const Sweep& s);
+
+// --- registry-backed builders -------------------------------------------
+
+/// Specs for every ladder instance of `families` whose server count lies in
+/// [min_servers, max_servers], in registry order. `seed` feeds randomized
+/// constructions (Jellyfish, Long Hop), as in family_instances.
+std::vector<TopoSpec> ladder_specs(const std::vector<Family>& families,
+                                   int min_servers, int max_servers,
+                                   std::uint64_t seed);
+
+/// Spec for the ladder instance of `f` nearest `target_servers`.
+TopoSpec representative_spec(Family f, int target_servers, std::uint64_t seed);
+
+/// The paper's scaling experiment (Figs. 5/6, Table I): each family's size
+/// ladder up to `max_servers` (TOPOBENCH_MAX_SERVERS overrides) under A2A,
+/// RM(1) and LM, in relative mode with TOPOBENCH_TRIALS samples (default 2)
+/// and a 10% default certified gap (TOPOBENCH_EPS tightens it).
+Sweep relative_scaling_sweep(const std::vector<Family>& families,
+                             int max_servers);
+
+// --- traffic-matrix families --------------------------------------------
+
+TmSpec a2a_tm();                      ///< all-to-all, label "A2A"
+TmSpec random_matching_tm(int k);     ///< k matchings, label "RM(k)"
+TmSpec longest_matching_tm();         ///< near-worst-case, label "LM"
+
+// --- environment knobs (shared by every driver) -------------------------
+// Solver accuracy, trial counts and sweep sizes can be tightened from the
+// environment without recompiling:
+//   TOPOBENCH_EPS            — GK certified-gap target
+//   TOPOBENCH_TRIALS         — random-graph samples per data point
+//   TOPOBENCH_TARGET_SERVERS — representative-instance size target
+//   TOPOBENCH_MAX_SERVERS    — ladder upper cutoff
+
+double env_eps(double fallback);
+/// TOPOBENCH_TRIALS in [1, 100]; out-of-range or unset means `fallback`.
+int env_trials(int fallback);
+/// Integer knob clamped to [lo, hi]; `fallback` when unset or unparsable.
+int env_int(const char* name, int fallback, int lo, int hi);
+
+}  // namespace tb::exp

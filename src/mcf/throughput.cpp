@@ -123,7 +123,8 @@ ThroughputResult compute_throughput(const Network& net, const TrafficMatrix& tm,
       opts.kind == SolverKind::ExactLP ||
       (opts.kind == SolverKind::Auto &&
        net.graph.num_nodes() <= opts.exact_max_switches &&
-       num_sources * net.graph.num_arcs() <= opts.exact_max_lp_size);
+       lp_size_within(num_sources, net.graph.num_arcs(),
+                      opts.exact_max_lp_size));
   if (use_exact) {
     return throughput_exact_lp(net.graph, tm);
   }

@@ -36,6 +36,17 @@ struct ThroughputResult {
   long iterations = 0;       ///< simplex pivots or GK phases
 };
 
+/// Auto-dispatch guard: does an LP with `num_sources` x `num_arcs` flow
+/// variables fit within `max_lp_size`? The product is formed in 64 bits —
+/// `long` x `int` arithmetic overflows on ILP32 targets for large counts,
+/// which would silently select ExactLP on huge instances.
+inline bool lp_size_within(long num_sources, int num_arcs,
+                           long max_lp_size) noexcept {
+  return static_cast<long long>(num_sources) *
+             static_cast<long long>(num_arcs) <=
+         static_cast<long long>(max_lp_size);
+}
+
 /// Compute throughput of `tm` on the switch graph of `net`.
 ThroughputResult compute_throughput(const Network& net, const TrafficMatrix& tm,
                                     const SolveOptions& opts = {});

@@ -27,6 +27,12 @@ constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept {
   return splitmix64(s);
 }
 
+/// Three-way mix for per-(cell, trial) streams in experiment sweeps.
+constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b,
+                                 std::uint64_t c) noexcept {
+  return mix_seed(mix_seed(a, b), c);
+}
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace tb {
 
@@ -39,6 +40,11 @@ Summary summarize(std::span<const double> xs) {
     s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
     s.ci95 = t_critical_95(s.n - 1) * s.stddev /
              std::sqrt(static_cast<double>(s.n));
+  } else {
+    // One sample carries no dispersion information; 0 here used to make a
+    // single-trial run look exact.
+    s.stddev = std::numeric_limits<double>::quiet_NaN();
+    s.ci95 = std::numeric_limits<double>::quiet_NaN();
   }
   return s;
 }

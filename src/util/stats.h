@@ -12,16 +12,20 @@ namespace tb {
 
 /// Aggregate of a sample: mean, stddev and a 95% two-sided CI half-width
 /// (normal approximation for n >= 30, Student-t critical values below).
+/// A single sample has no dispersion estimate: `stddev` and `ci95` are
+/// quiet NaN for n == 1 (never 0, which would read as a spuriously exact
+/// interval). Writers render the NaN sentinel as "na".
 struct Summary {
   std::size_t n = 0;
   double mean = 0.0;
-  double stddev = 0.0;   ///< sample standard deviation (n-1 denominator)
-  double ci95 = 0.0;     ///< half-width of the 95% confidence interval
+  double stddev = 0.0;   ///< sample standard deviation (n-1); NaN for n == 1
+  double ci95 = 0.0;     ///< 95% CI half-width; NaN for n == 1
   double min = 0.0;
   double max = 0.0;
 };
 
-/// Compute a Summary of `xs`. Empty input yields a zeroed Summary.
+/// Compute a Summary of `xs`. Empty input yields a zeroed Summary; a
+/// singleton yields NaN stddev/ci95 (see Summary).
 Summary summarize(std::span<const double> xs);
 
 /// Two-sided 95% Student-t critical value for `dof` degrees of freedom.

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
 
 namespace tb {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() noexcept { return t_in_worker; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -41,7 +48,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t workers = size();
-  if (workers <= 1 || n <= grain) {
+  if (workers <= 1 || n <= grain || in_worker()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -57,7 +64,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
-  for (auto& f : futs) f.get();
+  // Drain every chunk before letting an exception escape: rethrowing while
+  // chunks still run would unwind the caller's frame (and `body`'s captures)
+  // under live workers. The first failure wins; later ones are dropped.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -72,6 +90,7 @@ ThreadPool& ThreadPool::shared() {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

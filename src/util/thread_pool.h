@@ -6,6 +6,13 @@
 // until every index is processed. Workers never touch overlapping state;
 // reductions are performed by the caller after the barrier, which keeps
 // results deterministic for a fixed partitioning.
+//
+// Nested-submit safety: parallel_for called from a pool worker (e.g. the
+// GK solver invoked from an experiment-runner cell) runs its whole range
+// inline instead of submitting, so a worker never blocks on futures that
+// only another worker could satisfy — the classic self-deadlock of
+// fixed-size pools. The outer level already saturates the pool, so the
+// inner level losing parallelism costs nothing.
 #pragma once
 
 #include <condition_variable>
@@ -44,6 +51,10 @@ class ThreadPool {
 
   /// Process-wide shared pool (size from TOPOBENCH_THREADS env or hardware).
   static ThreadPool& shared();
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used to
+  /// keep nested parallel_for calls inline (see header comment).
+  static bool in_worker() noexcept;
 
  private:
   void worker_loop();

@@ -1,13 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
 #include "core/evaluator.h"
 #include "core/registry.h"
+#include "pool_test_env.h"
 #include "tm/synthetic.h"
 #include "topo/hypercube.h"
 #include "topo/jellyfish.h"
+#include "util/thread_pool.h"
 
 namespace tb {
 namespace {
+
+[[maybe_unused]] const int kForcePoolThreads = test_env::force_pool_threads();
 
 TEST(Registry, AllFamiliesHaveInstances) {
   for (const Family f : all_families()) {
@@ -77,6 +84,43 @@ TEST(Evaluator, HypercubeLosesToRandomAtSize) {
   opts.solve.epsilon = 0.05;
   const RelativeResult r = relative_throughput(hc, longest_matching(hc), opts);
   EXPECT_LT(r.relative, 0.95);
+}
+
+TEST(Evaluator, ParallelTrialsMatchSerialPath) {
+  // The random-graph trials run on the shared pool when solve.parallel is
+  // set; per-trial seeds derive from the trial index and the reduction
+  // happens after the barrier, so parallel and serial paths must agree
+  // exactly for a fixed seed.
+  if (ThreadPool::shared().size() <= 1) {
+    GTEST_SKIP() << "shared pool has one worker (TOPOBENCH_THREADS "
+                    "override?); parallel path would not be exercised";
+  }
+  const Network hc = make_hypercube(4);
+  const TrafficMatrix tm = longest_matching(hc);
+  RelativeOptions serial;
+  serial.random_trials = 4;
+  serial.seed = 7;
+  serial.solve.parallel = false;
+  RelativeOptions parallel = serial;
+  parallel.solve.parallel = true;
+  const RelativeResult a = relative_throughput(hc, tm, serial);
+  const RelativeResult b = relative_throughput(hc, tm, parallel);
+  EXPECT_DOUBLE_EQ(a.topo_throughput, b.topo_throughput);
+  EXPECT_DOUBLE_EQ(a.random_throughput.mean, b.random_throughput.mean);
+  EXPECT_DOUBLE_EQ(a.random_throughput.ci95, b.random_throughput.ci95);
+  EXPECT_DOUBLE_EQ(a.relative, b.relative);
+  EXPECT_DOUBLE_EQ(a.relative_ci95, b.relative_ci95);
+}
+
+TEST(Evaluator, SingleTrialCiIsNaNSentinel) {
+  // random_trials = 1 used to report a spuriously exact ci95 == 0.
+  const Network hc = make_hypercube(3);
+  RelativeOptions opts;
+  opts.random_trials = 1;
+  const RelativeResult r = relative_throughput(hc, all_to_all(hc), opts);
+  EXPECT_GT(r.relative, 0.0);
+  EXPECT_TRUE(std::isnan(r.random_throughput.ci95));
+  EXPECT_TRUE(std::isnan(r.relative_ci95));
 }
 
 TEST(Evaluator, RejectsBadTrialCount) {

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/evaluator.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "pool_test_env.h"
+#include "tm/synthetic.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tb {
+namespace {
+
+[[maybe_unused]] const int kForcePoolThreads = test_env::force_pool_threads();
+
+/// A small, ExactLP-solvable sweep used throughout: hypercube instances
+/// under A2A and LM.
+exp::Sweep tiny_sweep(int trials, std::uint64_t base_seed = 5) {
+  exp::Sweep s;
+  s.topologies = {exp::representative_spec(Family::Hypercube, 16, 1)};
+  s.tms = {exp::a2a_tm(), exp::longest_matching_tm()};
+  s.trials = trials;
+  s.base_seed = base_seed;
+  return s;
+}
+
+TEST(Sweep, ExpansionIsTopologyMajor) {
+  exp::Sweep s;
+  s.topologies = {exp::representative_spec(Family::Hypercube, 16, 1),
+                  exp::representative_spec(Family::FatTree, 16, 1)};
+  s.tms = {exp::a2a_tm(), exp::random_matching_tm(1),
+           exp::longest_matching_tm()};
+  const std::vector<exp::Cell> cells = exp::expand(s);
+  ASSERT_EQ(cells.size(), 6u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].topo, i / 3);
+    EXPECT_EQ(cells[i].tm, i % 3);
+  }
+}
+
+TEST(Sweep, LadderSpecsFilterAndLabel) {
+  const std::vector<exp::TopoSpec> specs =
+      exp::ladder_specs({Family::Hypercube}, 30, 130, 1);
+  ASSERT_EQ(specs.size(), 3u);  // 32, 64, 128 servers
+  const std::shared_ptr<const Network> n0 = specs[0].build();
+  EXPECT_EQ(n0->total_servers(), 32);
+  EXPECT_EQ(specs[0].label, n0->name);
+  EXPECT_EQ(specs[2].build()->total_servers(), 128);
+  // Repeated builds hand out the same instance, not a copy.
+  EXPECT_EQ(specs[0].build().get(), n0.get());
+}
+
+TEST(Sweep, TmSpecsAreSeedDriven) {
+  const std::shared_ptr<const Network> hc =
+      exp::representative_spec(Family::Hypercube, 16, 1).build();
+  const exp::TmSpec rm = exp::random_matching_tm(1);
+  EXPECT_EQ(rm.label, "RM(1)");
+  const TrafficMatrix a = rm.build(*hc, 7);
+  const TrafficMatrix b = rm.build(*hc, 7);
+  ASSERT_EQ(a.demands.size(), b.demands.size());
+  for (std::size_t i = 0; i < a.demands.size(); ++i) {
+    EXPECT_EQ(a.demands[i].src, b.demands[i].src);
+    EXPECT_EQ(a.demands[i].dst, b.demands[i].dst);
+  }
+}
+
+TEST(Runner, CacheAnswersRepeatedCellsWithoutReevaluating) {
+  const exp::Sweep sweep = tiny_sweep(/*trials=*/0);
+  exp::Runner runner;
+  const exp::ResultSet first = runner.run(sweep);
+  EXPECT_EQ(runner.cache_stats().misses, 2u);
+  EXPECT_EQ(runner.cache_stats().hits, 0u);
+  const exp::ResultSet second = runner.run(sweep);
+  EXPECT_EQ(runner.cache_stats().misses, 2u);  // same cells evaluated once
+  EXPECT_EQ(runner.cache_stats().hits, 2u);
+  EXPECT_EQ(first.to_csv(), second.to_csv());
+}
+
+TEST(Runner, CacheDistinguishesSolverAndTrialConfig) {
+  exp::Sweep sweep = tiny_sweep(/*trials=*/0);
+  exp::Runner runner;
+  (void)runner.run(sweep);
+  exp::Sweep tighter = sweep;
+  tighter.solve.kind = mcf::SolverKind::ExactLP;
+  (void)runner.run(tighter);
+  // Different solver configuration must not be answered from the cache.
+  EXPECT_EQ(runner.cache_stats().misses, 4u);
+}
+
+TEST(Runner, SerialAndParallelProduceIdenticalCsv) {
+  // The driver-level CTest entry diffs TOPOBENCH_THREADS=1 against the
+  // default pool across processes; this covers the in-process half of the
+  // contract (cell distribution must not affect results).
+  if (ThreadPool::shared().size() <= 1) {
+    GTEST_SKIP() << "shared pool has one worker (TOPOBENCH_THREADS "
+                    "override?); parallel path would not be exercised";
+  }
+  const exp::Sweep sweep = tiny_sweep(/*trials=*/2);
+  exp::Runner serial(/*parallel=*/false);
+  exp::Runner parallel(/*parallel=*/true);
+  EXPECT_EQ(serial.run(sweep).to_csv(), parallel.run(sweep).to_csv());
+}
+
+TEST(Runner, RelativeCellsMatchDirectEvaluatorCall) {
+  // The runner must be a pure orchestrator: a relative cell's numbers are
+  // exactly relative_throughput with the documented seed derivation
+  // (cell_seed = mix_seed(base, cell), trial t = mix_seed(base, cell, t)).
+  const exp::Sweep sweep = tiny_sweep(/*trials=*/2, /*base_seed=*/42);
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  ASSERT_EQ(rs.size(), 2u);
+  const std::shared_ptr<const Network> built = sweep.topologies[0].build();
+  const Network& net = *built;
+  for (std::size_t cell = 0; cell < 2; ++cell) {
+    const std::uint64_t cell_seed = mix_seed(sweep.base_seed, cell);
+    const TrafficMatrix tm =
+        sweep.tms[cell].build(net, mix_seed(cell_seed, 0));
+    RelativeOptions opts;
+    opts.random_trials = sweep.trials;
+    opts.seed = cell_seed;
+    opts.solve = sweep.solve;
+    const RelativeResult expected = relative_throughput(net, tm, opts);
+    const exp::CellResult& got = rs.rows()[cell];
+    EXPECT_EQ(got.seed, cell_seed);
+    EXPECT_DOUBLE_EQ(got.throughput, expected.topo_throughput);
+    EXPECT_DOUBLE_EQ(got.relative, expected.relative);
+    EXPECT_DOUBLE_EQ(got.random_mean, expected.random_throughput.mean);
+  }
+}
+
+TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
+  exp::ResultSet rs;
+  exp::CellResult a;
+  a.cell = 0;
+  a.topology = "BCube(n=2,k=3)";  // comma forces quoting
+  a.servers = 16;
+  a.switches = 48;
+  a.tm = "A2A";
+  a.seed = 123456789012345ULL;
+  a.solver = "auto(eps=0.05)";
+  a.trials = 0;
+  a.throughput = 1.0 / 3.0;  // exercises 17-digit round-trip
+  rs.add(a);
+  exp::CellResult b = a;
+  b.cell = 1;
+  b.topology = "weird \"quoted\"\nmultiline name";
+  b.tm = "LM";
+  b.trials = 1;
+  b.random_mean = 0.75;
+  b.random_ci95 = std::numeric_limits<double>::quiet_NaN();
+  b.relative = 4.0 / 9.0;
+  b.relative_ci95 = std::numeric_limits<double>::quiet_NaN();
+  rs.add(b);
+
+  const std::string csv = rs.to_csv();
+  EXPECT_NE(csv.find("\"BCube(n=2,k=3)\""), std::string::npos);
+  EXPECT_NE(csv.find(",na,"), std::string::npos);
+
+  const exp::ResultSet back = exp::ResultSet::from_csv(csv);
+  ASSERT_EQ(back.size(), 2u);
+  const exp::CellResult& ra = back.rows()[0];
+  EXPECT_EQ(ra.topology, a.topology);
+  EXPECT_EQ(ra.seed, a.seed);
+  EXPECT_EQ(ra.solver, a.solver);
+  EXPECT_DOUBLE_EQ(ra.throughput, a.throughput);
+  EXPECT_TRUE(std::isnan(ra.random_mean));
+  const exp::CellResult& rb = back.rows()[1];
+  EXPECT_EQ(rb.topology, b.topology);
+  EXPECT_DOUBLE_EQ(rb.relative, b.relative);
+  EXPECT_TRUE(std::isnan(rb.relative_ci95));
+  // Re-serializing is byte-stable (the determinism the CTest diff relies on).
+  EXPECT_EQ(back.to_csv(), csv);
+}
+
+TEST(Runner, CallerAuthoredSpecLabelIsRowIdentity) {
+  // A spec whose label differs from the built network's name must still
+  // produce rows addressable by the label (the documented identity).
+  exp::Sweep sweep;
+  const exp::TopoSpec registry =
+      exp::representative_spec(Family::Hypercube, 16, 1);
+  sweep.topologies = {{"hc16", registry.build}};
+  sweep.tms = {exp::a2a_tm()};
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows()[0].topology, "hc16");
+  EXPECT_GT(rs.at("hc16", "A2A").throughput, 0.0);
+}
+
+TEST(Results, JsonRendersSentinelAsNull) {
+  exp::ResultSet rs;
+  exp::CellResult r;
+  r.topology = "Hypercube(d=4)";
+  r.tm = "LM";
+  r.throughput = 0.5;
+  rs.add(r);
+  const std::string json = rs.to_json();
+  EXPECT_NE(json.find("\"topology\": \"Hypercube(d=4)\""), std::string::npos);
+  EXPECT_NE(json.find("\"random_mean\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"throughput\": 0.5"), std::string::npos);
+}
+
+TEST(Results, AtFindsCellAndThrowsOnMiss) {
+  const exp::Sweep sweep = tiny_sweep(/*trials=*/0);
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  const exp::CellResult& cell = rs.at(sweep.topologies[0].label, "LM");
+  EXPECT_EQ(cell.tm, "LM");
+  EXPECT_GT(cell.throughput, 0.0);
+  EXPECT_THROW(rs.at("nope", "A2A"), std::out_of_range);
+}
+
+TEST(Rng, ThreeWayMixMatchesNestedTwoWayMix) {
+  EXPECT_EQ(mix_seed(1, 2, 3), mix_seed(mix_seed(1, 2), 3));
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(1, 3, 2));
+}
+
+}  // namespace
+}  // namespace tb

@@ -245,6 +245,19 @@ TEST(Paths, RestrictedLpNeverExceedsUnrestricted) {
   }
 }
 
+TEST(Throughput, AutoDispatchSizeGuardDoesNotOverflow) {
+  // Regression: num_sources * num_arcs used to be formed in `long` x `int`
+  // arithmetic, which wraps on ILP32 targets for paper-scale instances and
+  // silently selected ExactLP. Synthetic large counts: 70k sources x 70k
+  // arcs is ~4.9e9, which wraps to a small positive value in 32 bits.
+  EXPECT_FALSE(mcf::lp_size_within(70'000, 70'000, 4096));
+  // 2^16 x 2^16 = 2^32 wraps to exactly 0 in 32-bit arithmetic.
+  EXPECT_FALSE(mcf::lp_size_within(65'536, 65'536, 4096));
+  // Genuinely small instances still pass.
+  EXPECT_TRUE(mcf::lp_size_within(8, 512, 4096));
+  EXPECT_FALSE(mcf::lp_size_within(9, 512, 4096));
+}
+
 TEST(Paths, CountingEstimateUnderestimatesLp) {
   // The Yuan-style counting estimate is pessimistic vs the exact LP on the
   // same path set (the Fig 15 methodological point).

@@ -1,0 +1,18 @@
+// Shared policy for test binaries whose serial-vs-parallel assertions
+// would be vacuous on a single-worker pool: force TOPOBENCH_THREADS=4
+// from a file-scope initializer, BEFORE anything instantiates
+// ThreadPool::shared(). An explicit TOPOBENCH_THREADS from the
+// environment still wins; the affected tests then skip loudly instead of
+// passing without exercising the parallel path.
+#pragma once
+
+#include <cstdlib>
+
+namespace tb::test_env {
+
+inline int force_pool_threads() {
+  setenv("TOPOBENCH_THREADS", "4", /*overwrite=*/0);
+  return 4;
+}
+
+}  // namespace tb::test_env

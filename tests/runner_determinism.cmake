@@ -1,0 +1,42 @@
+# Runs DRIVER (a runner-ported bench binary) at a tiny size in three modes —
+# serial (TOPOBENCH_THREADS=1), the default pool, and an explicit 4-worker
+# pool (so the concurrent paths are exercised even on single-core machines) —
+# and fails unless the emitted CSVs are byte-identical. This is the
+# cross-process half of the runner's determinism contract; exp_test covers
+# the in-process half.
+if(NOT DEFINED DRIVER OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "runner_determinism.cmake needs -DDRIVER and -DWORK_DIR")
+endif()
+
+get_filename_component(driver_name ${DRIVER} NAME)
+
+set(tiny_env
+  TOPOBENCH_CSV=1
+  TOPOBENCH_TARGET_SERVERS=16
+  TOPOBENCH_TRIALS=2
+  TOPOBENCH_EPS=0.1)
+
+function(run_mode out_file)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${tiny_env} ${ARGN} ${DRIVER}
+    OUTPUT_FILE ${WORK_DIR}/${out_file}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${out_file} run failed (rc=${rc})")
+  endif()
+endfunction()
+
+run_mode(${driver_name}_det_serial.csv TOPOBENCH_THREADS=1)
+run_mode(${driver_name}_det_default.csv)
+run_mode(${driver_name}_det_four.csv TOPOBENCH_THREADS=4)
+
+foreach(other ${driver_name}_det_default.csv ${driver_name}_det_four.csv)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${WORK_DIR}/${driver_name}_det_serial.csv ${WORK_DIR}/${other}
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${other} differs from the serial CSV — the runner lost determinism")
+  endif()
+endforeach()

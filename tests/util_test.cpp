@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.h"
@@ -113,7 +114,10 @@ TEST(Stats, EmptyAndSingleton) {
   const std::vector<double> one{7.0};
   const Summary s = summarize(one);
   EXPECT_DOUBLE_EQ(s.mean, 7.0);
-  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+  // A single sample has no dispersion estimate — NaN sentinel, not a
+  // spuriously exact zero-width interval.
+  EXPECT_TRUE(std::isnan(s.ci95));
+  EXPECT_TRUE(std::isnan(s.stddev));
 }
 
 TEST(Stats, PercentileInterpolates) {
@@ -164,6 +168,41 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   bool touched = false;
   pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionAfterDrainingChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<int> sink(256, 0);
+  EXPECT_THROW(pool.parallel_for(0, sink.size(),
+                                 [&](std::size_t i) {
+                                   if (i % 64 == 1) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                   sink[i] = 1;
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+  // Every chunk was drained before the rethrow, so nothing still touches
+  // `sink` and the pool stays usable.
+  pool.parallel_for(0, sink.size(), [&](std::size_t i) { sink[i] = 2; });
+  for (const int v : sink) EXPECT_EQ(v, 2);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineOnWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_worker());
+    outer.fetch_add(1);
+    // Re-entering parallel_for from a worker must not submit (and thus
+    // cannot deadlock a saturated pool); it runs the range inline.
+    pool.parallel_for(0, 8, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_EQ(inner.load(), 32);
 }
 
 TEST(ThreadPool, SingleWorkerRunsInline) {
