@@ -28,7 +28,8 @@ int main() {
   };
   std::map<std::string, FamilyStats> stats;
   const std::vector<std::string> methods{"brute-force", "one-node", "two-node",
-                                         "expanding", "eigenvector"};
+                                         "expanding", "eigenvector",
+                                         "st-mincut"};
 
   const auto process = [&](const std::string& family, const Network& net) {
     const TrafficMatrix tm = longest_matching(net);

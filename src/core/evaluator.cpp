@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "cuts/bisection.h"
 #include "topo/jellyfish.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -45,6 +46,31 @@ RelativeResult relative_throughput(const Network& net, const TrafficMatrix& tm,
   res.relative_ci95 =
       res.relative * res.random_throughput.ci95 / res.random_throughput.mean;
   return res;
+}
+
+CutBoundResult cut_upper_bound(const Network& net, const TrafficMatrix& tm,
+                               const CutBoundOptions& opts) {
+  const cuts::SparseCutSurvey survey = cuts::best_sparse_cut(
+      net.graph, tm, opts.brute_force_cap, opts.st_pairs, opts.seed);
+  CutBoundResult r;
+  r.bound = survey.best.sparsity;
+  r.method = survey.best.method;
+  r.kind = survey.best.bound;
+  // The battery can miss a balanced cut that KL finds; a certified-exact
+  // battery answer cannot be beaten (exact == the optimum over ALL cuts),
+  // so skip the bisection work entirely in that case.
+  if (opts.include_bisection && r.kind != cuts::CutBound::Exact) {
+    const cuts::CutResult bis = cuts::bisection_sparsity(
+        net.graph, tm, /*exact_max=*/18, /*kl_restarts=*/8, opts.seed);
+    if (bis.sparsity < r.bound) {
+      r.bound = bis.sparsity;
+      r.method = bis.method;
+      // bis's Exact only certifies the optimum over *balanced* cuts; as a
+      // bound on the sparsest cut it is still just an upper bound.
+      r.kind = cuts::CutBound::Upper;
+    }
+  }
+  return r;
 }
 
 }  // namespace tb

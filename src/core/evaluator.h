@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "cuts/sparsest_cut.h"
 #include "mcf/throughput.h"
 #include "tm/traffic_matrix.h"
 #include "topo/network.h"
@@ -34,5 +36,33 @@ struct RelativeResult {
 /// std::runtime_error if the random graphs achieve zero throughput.
 RelativeResult relative_throughput(const Network& net, const TrafficMatrix& tm,
                                    const RelativeOptions& opts = {});
+
+// --- cut-based throughput upper bounds -----------------------------------
+// The paper's central comparison (Fig 3, Table II) is measured throughput
+// against the best cut bound; with the exact flow/ subsystem the bound is
+// certified, so every evaluated cell can carry a throughput-vs-cut gap.
+
+struct CutBoundOptions {
+  long brute_force_cap = 10'000; ///< subset cap for the enumeration member
+                                 ///< (matches best_sparse_cut, so sweeps
+                                 ///< certify the same instances exact)
+  int st_pairs = 8;              ///< terminal pairs for the exact s-t cuts
+  bool include_bisection = true; ///< also offer the balanced-cut estimate
+  std::uint64_t seed = 1;        ///< sampling stream (the runner derives a
+                                 ///< per-cell seed; see exp/runner.h)
+};
+
+struct CutBoundResult {
+  double bound = 0.0;    ///< lowest cut sparsity found: throughput <= bound
+  std::string method;    ///< winning estimator ("st-mincut", "bisection", ...)
+  cuts::CutBound kind = cuts::CutBound::Upper;  ///< certificate of `bound`
+};
+
+/// Best (lowest) cut-based throughput upper bound for (net, tm): the full
+/// sparse-cut battery of best_sparse_cut — exact sampled s-t min cuts
+/// included — plus, optionally, the TM-relative bisection. Deterministic
+/// for a fixed seed.
+CutBoundResult cut_upper_bound(const Network& net, const TrafficMatrix& tm,
+                               const CutBoundOptions& opts = {});
 
 }  // namespace tb

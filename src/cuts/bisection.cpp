@@ -1,9 +1,13 @@
 #include "cuts/bisection.h"
 
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "cuts/exact_cuts.h"
+#include "flow/min_cut.h"
 #include "graph/partition.h"
+#include "util/rng.h"
 
 namespace tb::cuts {
 namespace {
@@ -34,16 +38,68 @@ void for_each_balanced(int n, Visit&& visit) {
   rec(rec, 1);
 }
 
+/// Move the highest-gain node (external - internal capacity; ties to the
+/// lowest id, so the repair is deterministic) from the oversized side until
+/// side 1 holds exactly n/2 nodes.
+void rebalance(const Graph& g, std::vector<std::uint8_t>& side) {
+  const int n = g.num_nodes();
+  const int target = n / 2;
+  int ones = 0;
+  for (const std::uint8_t s : side) ones += s;
+  while (ones != target) {
+    const std::uint8_t from = ones > target ? 1 : 0;
+    int best_v = -1;
+    double best_gain = -kInf;
+    for (int v = 0; v < n; ++v) {
+      if (side[static_cast<std::size_t>(v)] != from) continue;
+      double gain = 0.0;
+      for (const int a : g.out_arcs(v)) {
+        const bool same = side[static_cast<std::size_t>(g.arc_to(a))] == from;
+        gain += same ? -g.arc_cap(a) : g.arc_cap(a);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_v = v;
+      }
+    }
+    side[static_cast<std::size_t>(best_v)] =
+        static_cast<std::uint8_t>(1 - from);
+    ones += from ? -1 : 1;
+  }
+}
+
+/// Sampled exact s-t min cuts rebalanced into bisections and KL-refined:
+/// candidate partitions that random-restart KL tends to miss when the
+/// bottleneck is far from every random start.
+std::vector<std::vector<std::uint8_t>> st_seeded_bisections(
+    const Graph& g, const TrafficMatrix& tm, int st_pairs,
+    std::uint64_t seed) {
+  const std::vector<std::pair<int, int>> pairs = sample_demand_pairs(
+      distinct_demand_pairs(tm), st_pairs, mix_seed(seed, 0x57C));
+  std::vector<std::vector<std::uint8_t>> out;
+  if (pairs.empty()) return out;
+  flow::FlowNetwork net = flow::FlowNetwork::from_graph(g);
+  for (const auto& [s, t] : pairs) {
+    std::vector<std::uint8_t> side =
+        flow::st_min_cut(g, net, s, t).source_side;
+    rebalance(g, side);
+    kernighan_lin_refine(g, side);
+    out.push_back(std::move(side));
+  }
+  return out;
+}
+
 }  // namespace
 
 CutResult bisection_sparsity(const Graph& g, const TrafficMatrix& tm,
                              int exact_max, int kl_restarts,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, int st_pairs) {
   const int n = g.num_nodes();
   CutResult best;
   best.method = "bisection";
   best.sparsity = kInf;
   if (n <= exact_max) {
+    best.bound = CutBound::Exact;
     for_each_balanced(n, [&](const std::vector<std::uint8_t>& side) {
       const double s = cut_sparsity(g, tm, side);
       if (s < best.sparsity) {
@@ -52,9 +108,18 @@ CutResult bisection_sparsity(const Graph& g, const TrafficMatrix& tm,
       }
     });
   } else {
+    best.bound = CutBound::Upper;
     const BipartitionResult part = min_bisection(g, kl_restarts, seed);
     best.side = part.side;
     best.sparsity = cut_sparsity(g, tm, part.side);
+    for (std::vector<std::uint8_t>& side :
+         st_seeded_bisections(g, tm, st_pairs, seed)) {
+      const double s = cut_sparsity(g, tm, side);
+      if (s < best.sparsity) {
+        best.sparsity = s;
+        best.side = std::move(side);
+      }
+    }
   }
   return best;
 }

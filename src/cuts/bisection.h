@@ -1,10 +1,12 @@
 // Bisection bandwidth (paper §II-B): the capacity of the worst-case cut
 // dividing the network into two equal halves. NP-hard, so:
 //  * n <= `exact_max`: exhaustive enumeration of balanced subsets,
-//    minimizing TM-relative sparsity directly;
+//    minimizing TM-relative sparsity directly (CutBound::Exact);
 //  * larger n: Kernighan-Lin capacity minimization over random restarts,
-//    reported as sparsity against the TM (the units the paper compares
-//    against throughput).
+//    sharpened by exact s-t min cuts — up to `st_pairs` sampled demand
+//    pairs are cut exactly (src/flow/), rebalanced into bisections, and
+//    KL-refined as extra candidates — reported as sparsity against the TM
+//    (the units the paper compares against throughput), CutBound::Upper.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +20,7 @@ namespace tb::cuts {
 /// TM-relative bisection: min sparsity over balanced (n/2, n/2 +-1) cuts.
 CutResult bisection_sparsity(const Graph& g, const TrafficMatrix& tm,
                              int exact_max = 18, int kl_restarts = 8,
-                             std::uint64_t seed = 1);
+                             std::uint64_t seed = 1, int st_pairs = 4);
 
 /// Raw bisection bandwidth in capacity units (no TM): min capacity over
 /// balanced cuts.

@@ -6,10 +6,24 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "cuts/exact_cuts.h"
 #include "graph/algorithms.h"
 #include "graph/spectral.h"
 
 namespace tb::cuts {
+
+const char* to_string(CutBound b) {
+  switch (b) {
+    case CutBound::Lower:
+      return "lower";
+    case CutBound::Upper:
+      return "upper";
+    case CutBound::Exact:
+      return "exact";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -27,11 +41,13 @@ struct Best {
   }
 };
 
-CutResult finish(Best best, const char* method) {
+CutResult finish(Best best, const char* method,
+                 CutBound bound = CutBound::Upper) {
   CutResult r;
   r.sparsity = best.sparsity;
   r.side = std::move(best.side);
   r.method = method;
+  r.bound = bound;
   return r;
 }
 
@@ -79,14 +95,18 @@ CutResult sparsest_cut_brute_force(const Graph& g, const TrafficMatrix& tm,
                   : (1L << (n - 1)) - 1;  // exclude the empty set
   const long cuts = std::min(total, max_cuts);
   side[static_cast<std::size_t>(n - 1)] = 1;
+  // mask never has bits at or above 63 set, so nodes beyond bit 62 stay on
+  // side 0 (shifting a long by >= 64 would be undefined behavior).
+  const int mask_bits = std::min(n - 1, 63);
   for (long mask = 1; mask <= cuts; ++mask) {
-    for (int v = 0; v < n - 1; ++v) {
+    for (int v = 0; v < mask_bits; ++v) {
       side[static_cast<std::size_t>(v)] =
           static_cast<std::uint8_t>((mask >> v) & 1);
     }
     best.offer(cut_sparsity(g, tm, side), side);
   }
-  return finish(std::move(best), "brute-force");
+  return finish(std::move(best), "brute-force",
+                total <= max_cuts ? CutBound::Exact : CutBound::Upper);
 }
 
 CutResult sparsest_cut_one_node(const Graph& g, const TrafficMatrix& tm) {
@@ -153,7 +173,8 @@ CutResult sparsest_cut_eigenvector(const Graph& g, const TrafficMatrix& tm) {
 }
 
 SparseCutSurvey best_sparse_cut(const Graph& g, const TrafficMatrix& tm,
-                                long brute_force_cap) {
+                                long brute_force_cap, int st_pairs,
+                                std::uint64_t seed) {
   SparseCutSurvey survey;
   std::vector<CutResult> results;
   results.push_back(sparsest_cut_brute_force(g, tm, brute_force_cap));
@@ -161,18 +182,24 @@ SparseCutSurvey best_sparse_cut(const Graph& g, const TrafficMatrix& tm,
   results.push_back(sparsest_cut_two_node(g, tm));
   results.push_back(sparsest_cut_expanding(g, tm));
   results.push_back(sparsest_cut_eigenvector(g, tm));
+  results.push_back(sparsest_cut_st_mincut(g, tm, st_pairs, seed));
 
   survey.best.sparsity = kInf;
   for (const CutResult& r : results) {
     survey.per_method.emplace_back(r.method, r.sparsity);
     if (r.sparsity < survey.best.sparsity) survey.best = r;
   }
+  // An exact member certifies the true optimum; the winning value then IS
+  // that optimum (nothing can come in lower), whichever method found it.
+  bool certified = false;
   for (const CutResult& r : results) {
+    if (r.bound == CutBound::Exact) certified = true;
     if (r.sparsity <= survey.best.sparsity * (1.0 + 1e-9)) {
       survey.winners.push_back(r.method);
     }
   }
   survey.best.method = survey.winners.empty() ? "none" : survey.winners.front();
+  survey.best.bound = certified ? CutBound::Exact : CutBound::Upper;
   return survey;
 }
 

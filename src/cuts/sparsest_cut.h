@@ -22,10 +22,21 @@
 
 namespace tb::cuts {
 
+/// How a CutResult's value relates to the true optimum of its cut problem
+/// (sparsest cut / bisection): `Exact` certifies equality (complete
+/// enumeration, or a max-flow argument covering every candidate cut),
+/// `Upper` certifies value >= optimum (every heuristic returns a genuine
+/// cut, so its value still upper-bounds throughput), `Lower` certifies
+/// value <= optimum (flow-duality bounds that are not themselves cuts).
+enum class CutBound { Lower, Upper, Exact };
+
+const char* to_string(CutBound b);
+
 struct CutResult {
   double sparsity = 0.0;           ///< capacity / demand across the cut
   std::vector<std::uint8_t> side;  ///< 0/1 membership
   std::string method;
+  CutBound bound = CutBound::Upper;
 };
 
 /// Sparsity of one cut. Directed: min over both orientations of
@@ -35,7 +46,8 @@ double cut_sparsity(const Graph& g, const TrafficMatrix& tm,
                     const std::vector<std::uint8_t>& side);
 
 /// Exhaustive enumeration capped at `max_cuts` subsets (Appendix C caps at
-/// 10,000). Exact for graphs with 2^(n-1) - 1 <= max_cuts.
+/// 10,000). Tagged CutBound::Exact when 2^(n-1) - 1 <= max_cuts (the
+/// enumeration was complete), CutBound::Upper otherwise.
 CutResult sparsest_cut_brute_force(const Graph& g, const TrafficMatrix& tm,
                                    long max_cuts = 10'000);
 
@@ -54,8 +66,13 @@ struct SparseCutSurvey {
   std::vector<std::string> winners;  ///< methods matching the best value
 };
 
-/// Run the full heuristic battery (Appendix C) and report the best cut.
+/// Run the full estimator battery — the Appendix C heuristics plus the
+/// exact sampled s-t min cuts of exact_cuts.h ("st-mincut", `st_pairs`
+/// terminal pairs drawn from `seed`) — and report the best cut. The best
+/// result is tagged CutBound::Exact when any exact member certified the
+/// optimum (complete brute force, or a single-pair TM).
 SparseCutSurvey best_sparse_cut(const Graph& g, const TrafficMatrix& tm,
-                                long brute_force_cap = 10'000);
+                                long brute_force_cap = 10'000,
+                                int st_pairs = 8, std::uint64_t seed = 1);
 
 }  // namespace tb::cuts

@@ -15,7 +15,8 @@ namespace {
 
 constexpr const char* kCsvHeader =
     "cell,topology,servers,switches,tm,seed,solver,trials,throughput,"
-    "random_mean,random_ci95,relative,relative_ci95";
+    "random_mean,random_ci95,relative,relative_ci95,cut_bound,cut_gap,"
+    "cut_method";
 
 /// %.17g round-trips every finite double exactly; NaN becomes "na".
 std::string num(double v) {
@@ -81,14 +82,42 @@ double parse_num(const std::string& s) {
 std::string json_escape(const std::string& s) {
   std::string out;
   for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        // Remaining control characters are illegal raw inside a JSON
+        // string literal; labels can legally contain them (the CSV path
+        // round-trips them), so escape rather than reject.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
 }
 
-/// JSON has no NaN literal; the sentinel becomes null.
-std::string json_num(double v) { return std::isnan(v) ? "null" : num(v); }
+/// JSON has no NaN or Infinity literals; non-finite values become null
+/// (infinite cut bounds arise from TMs no cut separates).
+std::string json_num(double v) { return std::isfinite(v) ? num(v) : "null"; }
 
 }  // namespace
 
@@ -109,7 +138,9 @@ std::string ResultSet::to_csv() const {
         << r.switches << ',' << csv_quote(r.tm) << ',' << r.seed << ','
         << csv_quote(r.solver) << ',' << r.trials << ',' << num(r.throughput)
         << ',' << num(r.random_mean) << ',' << num(r.random_ci95) << ','
-        << num(r.relative) << ',' << num(r.relative_ci95) << '\n';
+        << num(r.relative) << ',' << num(r.relative_ci95) << ','
+        << num(r.cut_bound) << ',' << num(r.cut_gap) << ','
+        << csv_quote(r.cut_method) << '\n';
   }
   return out.str();
 }
@@ -129,7 +160,13 @@ std::string ResultSet::to_json() const {
         << ", \"random_mean\": " << json_num(r.random_mean)
         << ", \"random_ci95\": " << json_num(r.random_ci95)
         << ", \"relative\": " << json_num(r.relative)
-        << ", \"relative_ci95\": " << json_num(r.relative_ci95) << "}"
+        << ", \"relative_ci95\": " << json_num(r.relative_ci95)
+        << ", \"cut_bound\": " << json_num(r.cut_bound)
+        << ", \"cut_gap\": " << json_num(r.cut_gap) << ", \"cut_method\": "
+        << (r.cut_method.empty()
+                ? std::string("null")
+                : '"' + json_escape(r.cut_method) + '"')
+        << "}"
         << (i + 1 < rows_.size() ? "," : "") << '\n';
   }
   out << "]\n";
@@ -167,7 +204,7 @@ ResultSet ResultSet::from_csv(const std::string& csv) {
     }
     const std::vector<std::string> f = csv_split(record);
     record.clear();
-    if (f.size() != 13) {
+    if (f.size() != 16) {
       throw std::invalid_argument("ResultSet::from_csv: bad row arity");
     }
     CellResult r;
@@ -184,6 +221,9 @@ ResultSet ResultSet::from_csv(const std::string& csv) {
     r.random_ci95 = parse_num(f[10]);
     r.relative = parse_num(f[11]);
     r.relative_ci95 = parse_num(f[12]);
+    r.cut_bound = parse_num(f[13]);
+    r.cut_gap = parse_num(f[14]);
+    r.cut_method = f[15];
     rs.add(std::move(r));
   }
   if (!record.empty()) {
@@ -201,14 +241,17 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
   } else {
     Table table({"cell", "topology", "servers", "switches", "tm", "seed",
                  "solver", "trials", "throughput", "random_mean",
-                 "random_ci95", "relative", "relative_ci95"});
+                 "random_ci95", "relative", "relative_ci95", "cut_bound",
+                 "cut_gap", "cut_method"});
     for (const CellResult& r : rows_) {
       table.add_row({std::to_string(r.cell), r.topology,
                      std::to_string(r.servers), std::to_string(r.switches),
                      r.tm, std::to_string(r.seed), r.solver,
                      std::to_string(r.trials), num_short(r.throughput),
                      num_short(r.random_mean), num_short(r.random_ci95),
-                     num_short(r.relative), num_short(r.relative_ci95)});
+                     num_short(r.relative), num_short(r.relative_ci95),
+                     num_short(r.cut_bound), num_short(r.cut_gap),
+                     r.cut_method.empty() ? "na" : r.cut_method});
     }
     table.print(os, caption);
   }

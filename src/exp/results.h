@@ -32,6 +32,12 @@ struct CellResult {
   double random_ci95 = std::numeric_limits<double>::quiet_NaN();
   double relative = std::numeric_limits<double>::quiet_NaN();
   double relative_ci95 = std::numeric_limits<double>::quiet_NaN();
+  // Cut-bound columns (Sweep::cut_bounds): the best certified cut-based
+  // throughput upper bound, its gap to measured throughput, and the
+  // winning estimator with its certificate, e.g. "st-mincut(exact)".
+  double cut_bound = std::numeric_limits<double>::quiet_NaN();
+  double cut_gap = std::numeric_limits<double>::quiet_NaN();
+  std::string cut_method;    ///< empty when cut bounds were not computed
 };
 
 /// An ordered collection of cell results with uniform CSV/JSON emission.

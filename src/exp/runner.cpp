@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -13,25 +14,36 @@
 namespace tb::exp {
 namespace {
 
-/// Exact solver configuration for cache identity: every field that can
-/// change a result (kind, full-precision epsilon, both Auto-dispatch
-/// thresholds). `parallel` is deliberately excluded — results are
-/// scheduling-invariant by contract, and keying on it would miss between
-/// serial and parallel runs of the same configuration.
-std::string solve_fingerprint(const mcf::SolveOptions& o) {
-  char buf[96];
+/// Exact solver + cut-bound configuration for cache identity: every field
+/// that can change a result (kind, full-precision epsilon, both
+/// Auto-dispatch thresholds, and the cut-bound knobs — the cut sampler's
+/// seed is derived from the cell, so the option-struct seed is excluded).
+/// `parallel` is deliberately excluded — results are scheduling-invariant
+/// by contract, and keying on it would miss between serial and parallel
+/// runs of the same configuration.
+std::string config_fingerprint(const Sweep& s) {
+  const mcf::SolveOptions& o = s.solve;
+  char buf[160];
   std::snprintf(buf, sizeof(buf), "k%d|e%.17g|s%d|z%ld",
                 static_cast<int>(o.kind), o.epsilon, o.exact_max_switches,
                 o.exact_max_lp_size);
-  return buf;
+  std::string key = buf;
+  if (s.cut_bounds) {
+    // Cut knobs enter the key only when they can affect the result, so
+    // disabled sweeps that differ in inert options still share entries.
+    const CutBoundOptions& c = s.cut_bound_opts;
+    std::snprintf(buf, sizeof(buf), "|cb|f%ld|q%d|b%d", c.brute_force_cap,
+                  c.st_pairs, c.include_bisection ? 1 : 0);
+    key += buf;
+  }
+  return key;
 }
 
 std::string cache_key(const std::string& topo, const std::string& tm,
-                      std::uint64_t seed, const mcf::SolveOptions& solve,
-                      int trials) {
+                      std::uint64_t seed, const Sweep& sweep) {
   // \x1f (unit separator) cannot occur in labels built from names.
   return topo + '\x1f' + tm + '\x1f' + std::to_string(seed) + '\x1f' +
-         solve_fingerprint(solve) + '\x1f' + std::to_string(trials);
+         config_fingerprint(sweep) + '\x1f' + std::to_string(sweep.trials);
 }
 
 }  // namespace
@@ -82,6 +94,19 @@ CellResult Runner::eval_cell(const Sweep& sweep,
     r.relative = rel.relative;
     r.relative_ci95 = rel.relative_ci95;
   }
+  if (sweep.cut_bounds) {
+    // The cut sampler draws from the stream after the last random-graph
+    // trial, so enabling cut bounds perturbs no existing column.
+    CutBoundOptions cb = sweep.cut_bound_opts;
+    cb.seed = mix_seed(cell_seed, static_cast<std::uint64_t>(r.trials) + 1);
+    const CutBoundResult cut = cut_upper_bound(net, tm, cb);
+    r.cut_bound = cut.bound;
+    r.cut_gap = r.throughput > 0.0
+                    ? cut.bound / r.throughput
+                    : std::numeric_limits<double>::quiet_NaN();
+    r.cut_method =
+        cut.method + '(' + std::string(cuts::to_string(cut.kind)) + ')';
+  }
   return r;
 }
 
@@ -98,7 +123,7 @@ ResultSet Runner::run(const Sweep& sweep) {
     for (const Cell& c : cells) {
       const std::string key = cache_key(
           sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
-          mix_seed(sweep.base_seed, c.index), sweep.solve, sweep.trials);
+          mix_seed(sweep.base_seed, c.index), sweep);
       const auto it = cache_.find(key);
       if (it != cache_.end()) {
         out[c.index] = it->second;
@@ -139,8 +164,7 @@ ResultSet Runner::run(const Sweep& sweep) {
     for (const std::size_t index : misses) {
       const Cell& c = cells[index];
       cache_.emplace(cache_key(sweep.topologies[c.topo].label,
-                               sweep.tms[c.tm].label, out[index].seed,
-                               sweep.solve, sweep.trials),
+                               sweep.tms[c.tm].label, out[index].seed, sweep),
                      out[index]);
       ++stats_.misses;
     }

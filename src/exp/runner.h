@@ -4,15 +4,19 @@
 // Seeding contract: a cell's seed is mix_seed(base_seed, cell_index); its
 // traffic matrix is built with mix_seed(base, cell, 0) and random-graph
 // trial t in [1..trials] draws its same-equipment graph from
-// mix_seed(base, cell, t). Cells run concurrently on ThreadPool::shared()
+// mix_seed(base, cell, t). When Sweep::cut_bounds is set, the cut-bound
+// sampler draws from mix_seed(base, cell, trials + 1) — the stream after
+// the last trial — so enabling it perturbs no existing column. Cells run
+// concurrently on ThreadPool::shared()
 // (nested solver parallelism degrades inline — see thread_pool.h) and the
 // ResultSet is assembled after the barrier in cell order, so for a fixed
 // base seed the output is byte-identical for any thread count, including
 // TOPOBENCH_THREADS=1.
 //
 // Cache contract: results are memoized under (topology label, TM label,
-// cell seed, solver configuration, trial count). Because the cell seed is
-// derived from the flat expansion index, a lookup hits only when the cell
+// cell seed, solver + cut-bound configuration, trial count). Because the
+// cell seed is derived from the flat expansion index, a lookup hits only
+// when the cell
 // sits at the same index under the same base seed: exact re-runs of a
 // sweep hit entirely, and sweeps extended by appending topologies (with
 // the TM list unchanged) hit on their shared prefix. Inserting topologies

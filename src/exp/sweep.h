@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluator.h"
 #include "core/registry.h"
 #include "mcf/throughput.h"
 #include "tm/traffic_matrix.h"
@@ -48,6 +49,9 @@ struct Sweep {
                                ///< with this many same-equipment random
                                ///< graphs per cell
   std::uint64_t base_seed = 1; ///< root of all per-cell seed streams
+  bool cut_bounds = false;     ///< fill the cut_bound/cut_gap/cut_method
+                               ///< columns via core's cut_upper_bound
+  CutBoundOptions cut_bound_opts;  ///< seed is overridden per cell
 };
 
 /// One cell of the expanded grid: indices into the sweep's topology and TM

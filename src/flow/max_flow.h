@@ -1,0 +1,40 @@
+// Exact single-commodity max-flow over a FlowNetwork.
+//
+// Two engines:
+//  * HighestLabel — push-relabel with highest-label node selection, the
+//    gap heuristic (a height with no nodes disconnects everything above it
+//    from the sink side) and periodic global relabeling (exact residual
+//    BFS distances). The production engine; runs to completion, so the
+//    residual state it leaves behind is a valid maximum flow.
+//  * Dinic — BFS level graph + DFS blocking flow with current-arc
+//    pointers. Deliberately simple; the tests cross-check HighestLabel
+//    against it on randomized instances.
+//
+// Capacities are doubles; residual amounts at or below
+// FlowNetwork::tolerance() count as zero everywhere, so solvers, cut
+// extraction, and verification agree on saturation.
+#pragma once
+
+#include "flow/flow_network.h"
+
+namespace tb::flow {
+
+enum class FlowAlgo { HighestLabel, Dinic };
+
+/// Work counters, mostly for tests and the micro benches.
+struct MaxFlowStats {
+  long pushes = 0;            ///< HighestLabel: individual push operations
+  long relabels = 0;          ///< HighestLabel: single-node relabels
+  long global_relabels = 0;   ///< HighestLabel: residual-BFS height rebuilds
+  long gap_jumps = 0;         ///< HighestLabel: gap-heuristic activations
+  long augmenting_paths = 0;  ///< Dinic: blocking-flow augmentations
+};
+
+/// Maximum s-t flow value. Mutates `net`'s residual state in place; the
+/// resulting flow is read back per arc via FlowNetwork::flow(). Throws
+/// std::invalid_argument on bad terminals or an unfinalized network.
+double max_flow(FlowNetwork& net, int s, int t,
+                FlowAlgo algo = FlowAlgo::HighestLabel,
+                MaxFlowStats* stats = nullptr);
+
+}  // namespace tb::flow

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "cuts/bisection.h"
+#include "cuts/exact_cuts.h"
 #include "cuts/sparsest_cut.h"
 #include "mcf/throughput.h"
 #include "tm/synthetic.h"
@@ -112,11 +113,14 @@ TEST(SparsestCut, SurveyReportsWinners) {
   const Network jf = make_jellyfish(12, 3, 1, 9);
   const TrafficMatrix tm = longest_matching(jf);
   const cuts::SparseCutSurvey survey = cuts::best_sparse_cut(jf.graph, tm);
-  EXPECT_EQ(survey.per_method.size(), 5u);
+  EXPECT_EQ(survey.per_method.size(), 6u);
   EXPECT_FALSE(survey.winners.empty());
   for (const auto& [method, value] : survey.per_method) {
     EXPECT_GE(value + 1e-12, survey.best.sparsity) << method;
   }
+  // 12 switches: the capped brute force is complete, so the survey's best
+  // value is certified exact.
+  EXPECT_EQ(survey.best.bound, cuts::CutBound::Exact);
 }
 
 TEST(SparsestCut, UpperBoundsThroughput) {
@@ -169,6 +173,87 @@ TEST(Bisection, CutCannotBeBelowSparsestCut) {
   const cuts::CutResult sparse =
       cuts::sparsest_cut_brute_force(jf.graph, tm, 1L << 16);
   EXPECT_GE(bis.sparsity + 1e-12, sparse.sparsity);
+}
+
+TEST(ExactCuts, SingleDemandPairIsCertifiedExact) {
+  // One demand pair: the sparsest cut must separate it, every separating
+  // cut carries the same demand, so min cut == sparsest cut exactly.
+  const Graph g = barbell(4);
+  TrafficMatrix tm;
+  tm.demands = {{1, 6, 2.0}};
+  const cuts::CutResult st = cuts::sparsest_cut_st_mincut(g, tm);
+  EXPECT_EQ(st.bound, cuts::CutBound::Exact);
+  // Bridge capacity 1, demand 2 in one direction -> sparsity 1/2.
+  EXPECT_NEAR(st.sparsity, 0.5, 1e-12);
+  const cuts::CutResult exact =
+      cuts::sparsest_cut_brute_force(g, tm, 1L << 20);
+  EXPECT_EQ(exact.bound, cuts::CutBound::Exact);
+  EXPECT_NEAR(st.sparsity, exact.sparsity, 1e-12);
+}
+
+TEST(ExactCuts, CappedBruteForceIsTaggedUpper) {
+  const Network jf = make_jellyfish(20, 3, 1, 3);
+  const TrafficMatrix tm = all_to_all(jf);
+  // 2^19 - 1 candidate subsets > 1000: the enumeration is incomplete.
+  const cuts::CutResult capped =
+      cuts::sparsest_cut_brute_force(jf.graph, tm, 1000);
+  EXPECT_EQ(capped.bound, cuts::CutBound::Upper);
+}
+
+TEST(ExactCuts, HeuristicsNeverBelowExactCutsOnSmallGraphs) {
+  // The satellite property: on graphs small enough for complete
+  // enumeration, no estimator — heuristic, exact s-t, or bisection — may
+  // report a value below the true sparsest cut, and the flow lower bound
+  // must bracket it from below.
+  for (const std::uint64_t seed : {1ULL, 4ULL, 9ULL, 23ULL}) {
+    const Network jf = make_jellyfish(12, 3, 1, seed);
+    for (const TrafficMatrix& tm :
+         {all_to_all(jf), longest_matching(jf), random_matching(jf, 1, seed)}) {
+      const cuts::CutResult exact =
+          cuts::sparsest_cut_brute_force(jf.graph, tm, 1L << 20);
+      ASSERT_EQ(exact.bound, cuts::CutBound::Exact);
+      for (const auto& r :
+           {cuts::sparsest_cut_one_node(jf.graph, tm),
+            cuts::sparsest_cut_two_node(jf.graph, tm),
+            cuts::sparsest_cut_expanding(jf.graph, tm),
+            cuts::sparsest_cut_eigenvector(jf.graph, tm),
+            cuts::sparsest_cut_st_mincut(jf.graph, tm, 8, seed),
+            cuts::bisection_sparsity(jf.graph, tm)}) {
+        EXPECT_GE(r.sparsity + 1e-12, exact.sparsity)
+            << r.method << " seed " << seed << " tm " << tm.name;
+      }
+      const cuts::CutResult lower =
+          cuts::sparsest_cut_flow_lower_bound(jf.graph, tm);
+      EXPECT_EQ(lower.bound, cuts::CutBound::Lower);
+      EXPECT_LE(lower.sparsity, exact.sparsity + 1e-12) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ExactCuts, StMincutUpperBoundsThroughput) {
+  for (const std::uint64_t seed : {3ULL, 8ULL}) {
+    const Network jf = make_jellyfish(14, 3, 1, seed);
+    const TrafficMatrix tm = longest_matching(jf);
+    const double thr = mcf::compute_throughput(jf, tm).throughput;
+    const cuts::CutResult st = cuts::sparsest_cut_st_mincut(jf.graph, tm);
+    EXPECT_GE(st.sparsity * (1.0 + 1e-9), thr) << "seed " << seed;
+  }
+}
+
+TEST(ExactCuts, BisectionBoundTagsFollowThePath) {
+  const Network small = make_jellyfish(10, 3, 1, 5);
+  const TrafficMatrix tm_small = all_to_all(small);
+  EXPECT_EQ(cuts::bisection_sparsity(small.graph, tm_small).bound,
+            cuts::CutBound::Exact);
+  const Network big = make_jellyfish(24, 3, 1, 5);
+  const TrafficMatrix tm_big = all_to_all(big);
+  const cuts::CutResult kl =
+      cuts::bisection_sparsity(big.graph, tm_big, /*exact_max=*/18);
+  EXPECT_EQ(kl.bound, cuts::CutBound::Upper);
+  // The KL path must still produce a genuine balanced cut.
+  int ones = 0;
+  for (const auto s : kl.side) ones += s;
+  EXPECT_EQ(ones, 12);
 }
 
 }  // namespace

@@ -155,6 +155,9 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   b.random_ci95 = std::numeric_limits<double>::quiet_NaN();
   b.relative = 4.0 / 9.0;
   b.relative_ci95 = std::numeric_limits<double>::quiet_NaN();
+  b.cut_bound = 5.0 / 7.0;
+  b.cut_gap = (5.0 / 7.0) / (1.0 / 3.0);
+  b.cut_method = "st-mincut(exact)";
   rs.add(b);
 
   const std::string csv = rs.to_csv();
@@ -169,10 +172,15 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   EXPECT_EQ(ra.solver, a.solver);
   EXPECT_DOUBLE_EQ(ra.throughput, a.throughput);
   EXPECT_TRUE(std::isnan(ra.random_mean));
+  EXPECT_TRUE(std::isnan(ra.cut_bound));
+  EXPECT_TRUE(ra.cut_method.empty());
   const exp::CellResult& rb = back.rows()[1];
   EXPECT_EQ(rb.topology, b.topology);
   EXPECT_DOUBLE_EQ(rb.relative, b.relative);
   EXPECT_TRUE(std::isnan(rb.relative_ci95));
+  EXPECT_DOUBLE_EQ(rb.cut_bound, b.cut_bound);
+  EXPECT_DOUBLE_EQ(rb.cut_gap, b.cut_gap);
+  EXPECT_EQ(rb.cut_method, b.cut_method);
   // Re-serializing is byte-stable (the determinism the CTest diff relies on).
   EXPECT_EQ(back.to_csv(), csv);
 }
@@ -205,6 +213,21 @@ TEST(Results, JsonRendersSentinelAsNull) {
   EXPECT_NE(json.find("\"throughput\": 0.5"), std::string::npos);
 }
 
+TEST(Results, JsonEscapesControlCharactersAndNonFinite) {
+  exp::ResultSet rs;
+  exp::CellResult r;
+  r.topology = "line1\nline2\ttab";
+  r.tm = "LM";
+  r.cut_bound = std::numeric_limits<double>::infinity();
+  rs.add(r);
+  const std::string json = rs.to_json();
+  // Raw control characters are illegal inside JSON string literals and
+  // Infinity has no literal; both must be rendered escaped / null.
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+  EXPECT_EQ(json.find("line1\nline2"), std::string::npos);
+  EXPECT_NE(json.find("\"cut_bound\": null"), std::string::npos);
+}
+
 TEST(Results, AtFindsCellAndThrowsOnMiss) {
   const exp::Sweep sweep = tiny_sweep(/*trials=*/0);
   exp::Runner runner;
@@ -213,6 +236,30 @@ TEST(Results, AtFindsCellAndThrowsOnMiss) {
   EXPECT_EQ(cell.tm, "LM");
   EXPECT_GT(cell.throughput, 0.0);
   EXPECT_THROW(rs.at("nope", "A2A"), std::out_of_range);
+}
+
+TEST(Runner, CutBoundColumnsFilledWhenEnabled) {
+  exp::Sweep sweep = tiny_sweep(/*trials=*/0);
+  sweep.cut_bounds = true;
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  ASSERT_EQ(rs.size(), 2u);
+  for (const exp::CellResult& r : rs.rows()) {
+    // Hypercube(16) under A2A/LM solves via ExactLP, so the certified cut
+    // bound must sit at or above the exact throughput.
+    EXPECT_FALSE(std::isnan(r.cut_bound)) << r.tm;
+    EXPECT_GE(r.cut_bound * (1.0 + 1e-9), r.throughput) << r.tm;
+    EXPECT_DOUBLE_EQ(r.cut_gap, r.cut_bound / r.throughput);
+    EXPECT_FALSE(r.cut_method.empty());
+    EXPECT_NE(r.cut_method.find('('), std::string::npos) << r.cut_method;
+  }
+  // Disabled sweeps must keep the sentinel (and a distinct cache entry).
+  exp::Sweep off = tiny_sweep(/*trials=*/0);
+  const exp::ResultSet rs_off = runner.run(off);
+  EXPECT_TRUE(std::isnan(rs_off.rows()[0].cut_bound));
+  EXPECT_TRUE(rs_off.rows()[0].cut_method.empty());
+  EXPECT_EQ(runner.cache_stats().hits, 0u);
+  EXPECT_EQ(runner.cache_stats().misses, 4u);
 }
 
 TEST(Rng, ThreeWayMixMatchesNestedTwoWayMix) {
