@@ -1,0 +1,62 @@
+// Failure resilience: throughput under degraded-network scenarios across a
+// topology x TM x failure grid — the workload family the paper's
+// robustness discussion motivates. Each cell solves the intact baseline
+// cold, applies the scenario as an incremental ThroughputEngine
+// perturbation (seeded random link failures or uniform capacity
+// degradation), and re-solves warm from the baseline solution; the CSV
+// carries the scenario label, failed_links, and throughput_drop
+// (1 - degraded/baseline) per cell.
+//
+// Runs on the experiment runner (failures mode): TOPOBENCH_CSV=1 emits the
+// uniform cell CSV, TOPOBENCH_TARGET_SERVERS sizes the representative
+// instances, TOPOBENCH_FAIL_STEPS in [1, 4] selects how many link-failure
+// fractions of {2%, 5%, 10%, 20%} to sweep (a degrade-to-half-capacity
+// scenario always rides along). Deterministic for any thread count.
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tb;
+  const std::string caption =
+      "Failure resilience: throughput drop under link failures / degradation";
+
+  exp::Sweep sweep;
+  sweep.solve.epsilon = exp::env_eps(0.08);
+  sweep.base_seed = 31;
+  const int target = exp::env_int("TOPOBENCH_TARGET_SERVERS", 48, 4, 1'000'000);
+  for (const Family f : all_families()) {
+    sweep.topologies.push_back(exp::representative_spec(f, target, /*seed=*/1));
+  }
+  sweep.tms = {exp::a2a_tm(), exp::random_matching_tm(1)};
+
+  const std::vector<double> all_fractions = {0.02, 0.05, 0.10, 0.20};
+  const int steps = exp::env_int("TOPOBENCH_FAIL_STEPS", 3, 1, 4);
+  sweep.scenarios = exp::random_failure_scenarios(
+      {all_fractions.begin(), all_fractions.begin() + steps});
+  sweep.scenarios.push_back(exp::degrade_scenario(0.5));
+
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  if (exp::csv_mode()) {
+    rs.emit(std::cout, caption);
+    return 0;
+  }
+
+  Table table({"topology", "tm", "scenario", "failed_links", "throughput",
+               "drop"});
+  for (const exp::CellResult& r : rs.rows()) {
+    table.add_row({r.topology, r.tm, r.scenario,
+                   std::to_string(r.failed_links), Table::fmt(r.throughput, 3),
+                   std::isnan(r.throughput_drop)
+                       ? "na"
+                       : Table::fmt(r.throughput_drop, 3)});
+  }
+  table.print(std::cout, caption);
+  std::cout << '\n';
+  return 0;
+}

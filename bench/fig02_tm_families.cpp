@@ -7,69 +7,106 @@
 // T_A2A / 2. The paper's claims reproduced here: the TM hardness ladder
 // A2A >= RM(10) >= RM(2) >= RM(1) >= {Kodialam, LM} >= bound; LM meets the
 // bound on hypercubes; on fat trees LM collapses to the A2A value.
+//
+// Runs on the experiment runner (one sweep per panel): TOPOBENCH_CSV=1
+// emits the uniform cell CSV, TOPOBENCH_MAX_SERVERS caps the per-panel
+// ladders for smoke runs, TOPOBENCH_WARMSTART=1 chains each instance's TM
+// ladder through one ThroughputEngine session. The default ladders keep
+// every instance at <= 128 host switches, inside kodialam_tm's advised LP
+// range (see tm/synthetic.h).
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "bench_common.h"
-#include "mcf/throughput.h"
+#include "exp/runner.h"
 #include "tm/synthetic.h"
 #include "topo/fattree.h"
 #include "topo/hypercube.h"
 #include "topo/jellyfish.h"
+#include "util/table.h"
 
 namespace {
 
 using namespace tb;
 
-void run_panel(const std::string& panel, const std::vector<Network>& nets,
-               double eps) {
+exp::Sweep panel_sweep(std::vector<Network> nets, std::uint64_t base_seed) {
+  exp::Sweep sweep;
+  sweep.solve.epsilon = exp::env_eps(0.05);
+  sweep.base_seed = base_seed;
+  sweep.warm_start = exp::env_int("TOPOBENCH_WARMSTART", 0, 0, 1) == 1;
+  const int max_servers =
+      exp::env_int("TOPOBENCH_MAX_SERVERS", 1'000'000, 4, 1'000'000);
+  for (Network& net : nets) {
+    if (net.total_servers() <= max_servers) {
+      sweep.topologies.push_back(exp::instance_spec(std::move(net)));
+    }
+  }
+  // The paper's RM seeds are fixed per figure; the cell's own seed stream
+  // would resample matchings per instance, so pin the legacy seed 7 via
+  // TmSpec builders that ignore the runner seed.
+  const auto pinned_rm = [](int k) {
+    return exp::TmSpec{"RM(" + std::to_string(k) + ")",
+                       [k](const Network& net, std::uint64_t) {
+                         return random_matching(net, k, 7);
+                       }};
+  };
+  sweep.tms = {exp::a2a_tm(), pinned_rm(10), pinned_rm(2), pinned_rm(1),
+               exp::kodialam_tm_spec(), exp::longest_matching_tm()};
+  return sweep;
+}
+
+void run_panel(const std::string& panel, std::vector<Network> nets,
+               std::uint64_t base_seed) {
+  const std::string caption =
+      "Fig 2 (" + panel + "): throughput of TM families";
+  const exp::Sweep sweep = panel_sweep(std::move(nets), base_seed);
+  if (sweep.topologies.empty()) {
+    // TOPOBENCH_MAX_SERVERS can filter a whole panel away on smoke runs;
+    // an empty panel is a note, not an error.
+    std::cout << "# " << caption << ": no instances within "
+              << "TOPOBENCH_MAX_SERVERS\n\n";
+    return;
+  }
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  if (exp::csv_mode()) {
+    rs.emit(std::cout, caption);
+    return;
+  }
   Table table({"network", "servers", "A2A", "RM(10)", "RM(2)", "RM(1)",
                "Kodialam", "LM", "LowerBound"});
-  for (const Network& net : nets) {
-    mcf::SolveOptions opts;
-    opts.epsilon = eps;
-    const double a2a = mcf::compute_throughput(net, all_to_all(net), opts).throughput;
-    const double rm10 =
-        mcf::compute_throughput(net, random_matching(net, 10, 7), opts).throughput;
-    const double rm2 =
-        mcf::compute_throughput(net, random_matching(net, 2, 7), opts).throughput;
-    const double rm1 =
-        mcf::compute_throughput(net, random_matching(net, 1, 7), opts).throughput;
-    // The Kodialam LP has H^2 columns; cap it as the paper capped theirs
-    // by memory (its scaling limit is part of the point of §II-C).
-    const int hosts = static_cast<int>(net.host_nodes().size());
-    const double kod =
-        hosts <= 128
-            ? mcf::compute_throughput(net, kodialam_tm(net), opts).throughput
-            : 0.0;
-    const double lm =
-        mcf::compute_throughput(net, longest_matching(net), opts).throughput;
-    table.add_row({net.name, std::to_string(net.total_servers()),
-                   Table::fmt(a2a), Table::fmt(rm10), Table::fmt(rm2),
-                   Table::fmt(rm1), kod > 0 ? Table::fmt(kod) : "n/a",
-                   Table::fmt(lm), Table::fmt(a2a / 2.0)});
+  for (const exp::TopoSpec& topo : sweep.topologies) {
+    const exp::CellResult& a2a = rs.at(topo.label, "A2A");
+    table.add_row({topo.label, std::to_string(a2a.servers),
+                   Table::fmt(a2a.throughput),
+                   Table::fmt(rs.at(topo.label, "RM(10)").throughput),
+                   Table::fmt(rs.at(topo.label, "RM(2)").throughput),
+                   Table::fmt(rs.at(topo.label, "RM(1)").throughput),
+                   Table::fmt(rs.at(topo.label, "Kodialam").throughput),
+                   Table::fmt(rs.at(topo.label, "LM").throughput),
+                   Table::fmt(a2a.throughput / 2.0)});
   }
-  bench::emit(table, "Fig 2 (" + panel + "): throughput of TM families");
+  table.print(std::cout, caption);
+  std::cout << '\n';
 }
 
 }  // namespace
 
 int main() {
-  const double eps = tb::bench::env_eps(0.05);
+  using namespace tb;
 
   std::vector<Network> cubes;
   for (int d = 3; d <= 7; ++d) cubes.push_back(make_hypercube(d));
-  run_panel("hypercube", cubes, eps);
+  run_panel("hypercube", std::move(cubes), 201);
 
   std::vector<Network> rrgs;
   for (int d = 3; d <= 7; ++d) {
     rrgs.push_back(make_jellyfish(1 << d, d, 1, 100 + static_cast<unsigned>(d)));
   }
-  run_panel("random graph, same equipment as hypercube", rrgs, eps);
+  run_panel("random graph, same equipment as hypercube", std::move(rrgs), 202);
 
   std::vector<Network> fts;
   for (int k = 4; k <= 10; k += 2) fts.push_back(make_fat_tree(k));
-  run_panel("fat tree", fts, eps);
+  run_panel("fat tree", std::move(fts), 203);
   return 0;
 }

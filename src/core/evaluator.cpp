@@ -16,7 +16,12 @@ RelativeResult relative_throughput(const Network& net, const TrafficMatrix& tm,
     throw std::invalid_argument("relative_throughput: trials >= 1");
   }
   RelativeResult res;
-  res.topo_throughput = mcf::compute_throughput(net, tm, opts.solve).throughput;
+  {
+    const mcf::ThroughputResult topo =
+        mcf::compute_throughput(net, tm, opts.solve);
+    res.topo_throughput = topo.throughput;
+    res.topo_stats = topo.stats;
+  }
 
   // The random-graph trials are independent solves; run them on the shared
   // pool when the caller allows it. Each trial derives its seed from its
@@ -71,6 +76,21 @@ CutBoundResult cut_upper_bound(const Network& net, const TrafficMatrix& tm,
     }
   }
   return r;
+}
+
+DegradedResult degraded_throughput(const Network& net, const TrafficMatrix& tm,
+                                   const mcf::ScenarioSpec& scenario,
+                                   const mcf::SolveOptions& solve) {
+  mcf::ThroughputEngine engine(net);
+  DegradedResult res;
+  res.baseline = engine.solve(tm, solve).throughput;
+  engine.apply_scenario(scenario);
+  const mcf::ThroughputResult deg = engine.warm_solve(tm, solve);
+  res.degraded = deg.throughput;
+  res.stats = deg.stats;
+  res.failed_links = engine.failed_edge_count();
+  res.drop = res.baseline > 0.0 ? 1.0 - res.degraded / res.baseline : 0.0;
+  return res;
 }
 
 }  // namespace tb

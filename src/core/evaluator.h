@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cuts/sparsest_cut.h"
+#include "mcf/engine.h"
 #include "mcf/throughput.h"
 #include "tm/traffic_matrix.h"
 #include "topo/network.h"
@@ -28,6 +29,7 @@ struct RelativeResult {
   Summary random_throughput;       ///< over the same-equipment random graphs
   double relative = 0.0;           ///< topo / mean(random)
   double relative_ci95 = 0.0;      ///< CI propagated from the random trials
+  mcf::SolverStats topo_stats;     ///< work counters of the topology's solve
 };
 
 /// Throughput of `net` under `tm`, normalized by same-equipment random
@@ -64,5 +66,30 @@ struct CutBoundResult {
 /// for a fixed seed.
 CutBoundResult cut_upper_bound(const Network& net, const TrafficMatrix& tm,
                                const CutBoundOptions& opts = {});
+
+// --- degraded-network throughput ------------------------------------------
+// The paper's robustness discussion motivates throughput under failures;
+// the engine's scenario layer makes it a cheap incremental perturbation of
+// one solver session instead of a fresh network build per scenario.
+
+struct DegradedResult {
+  double baseline = 0.0;      ///< throughput of the intact network
+  double degraded = 0.0;      ///< throughput under the scenario
+  /// 1 - degraded/baseline. Usually in [0, 1]; the GK solver's certified
+  /// gap can make it marginally negative on easier degraded instances.
+  double drop = 0.0;
+  int failed_links = 0;       ///< edges at zero capacity under the scenario
+  mcf::SolverStats stats;     ///< work counters of the degraded solve
+};
+
+/// Throughput of (net, tm) intact and under `scenario`, evaluated on one
+/// ThroughputEngine: the baseline solves cold, the scenario is applied as
+/// an incremental perturbation, and the degraded instance solves warm from
+/// the baseline solution. A scenario that disconnects a demand (or fails
+/// every demand endpoint) yields degraded == 0, drop == 1. Deterministic
+/// for a fixed scenario seed.
+DegradedResult degraded_throughput(const Network& net, const TrafficMatrix& tm,
+                                   const mcf::ScenarioSpec& scenario,
+                                   const mcf::SolveOptions& solve = {});
 
 }  // namespace tb

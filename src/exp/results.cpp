@@ -16,7 +16,13 @@ namespace {
 constexpr const char* kCsvHeader =
     "cell,topology,servers,switches,tm,seed,solver,trials,throughput,"
     "random_mean,random_ci95,relative,relative_ci95,cut_bound,cut_gap,"
-    "cut_method";
+    "cut_method,scenario,failed_links,throughput_drop,pivots,phases,"
+    "dijkstras,warm";
+
+constexpr std::size_t kNumColumns = 23;
+
+/// failed_links uses -1 as its NA sentinel (0 is a real count).
+std::string int_or_na(int v) { return v < 0 ? "na" : std::to_string(v); }
 
 /// %.17g round-trips every finite double exactly; NaN becomes "na".
 std::string num(double v) {
@@ -140,7 +146,10 @@ std::string ResultSet::to_csv() const {
         << ',' << num(r.random_mean) << ',' << num(r.random_ci95) << ','
         << num(r.relative) << ',' << num(r.relative_ci95) << ','
         << num(r.cut_bound) << ',' << num(r.cut_gap) << ','
-        << csv_quote(r.cut_method) << '\n';
+        << csv_quote(r.cut_method) << ',' << csv_quote(r.scenario) << ','
+        << int_or_na(r.failed_links) << ',' << num(r.throughput_drop) << ','
+        << r.pivots << ',' << r.phases << ',' << r.dijkstras << ',' << r.warm
+        << '\n';
   }
   return out.str();
 }
@@ -166,6 +175,15 @@ std::string ResultSet::to_json() const {
         << (r.cut_method.empty()
                 ? std::string("null")
                 : '"' + json_escape(r.cut_method) + '"')
+        << ", \"scenario\": "
+        << (r.scenario.empty() ? std::string("null")
+                               : '"' + json_escape(r.scenario) + '"')
+        << ", \"failed_links\": "
+        << (r.failed_links < 0 ? std::string("null")
+                               : std::to_string(r.failed_links))
+        << ", \"throughput_drop\": " << json_num(r.throughput_drop)
+        << ", \"pivots\": " << r.pivots << ", \"phases\": " << r.phases
+        << ", \"dijkstras\": " << r.dijkstras << ", \"warm\": " << r.warm
         << "}"
         << (i + 1 < rows_.size() ? "," : "") << '\n';
   }
@@ -204,7 +222,7 @@ ResultSet ResultSet::from_csv(const std::string& csv) {
     }
     const std::vector<std::string> f = csv_split(record);
     record.clear();
-    if (f.size() != 16) {
+    if (f.size() != kNumColumns) {
       throw std::invalid_argument("ResultSet::from_csv: bad row arity");
     }
     CellResult r;
@@ -224,6 +242,16 @@ ResultSet ResultSet::from_csv(const std::string& csv) {
     r.cut_bound = parse_num(f[13]);
     r.cut_gap = parse_num(f[14]);
     r.cut_method = f[15];
+    r.scenario = f[16];
+    r.failed_links = f[17] == "na"
+                         ? -1
+                         : static_cast<int>(std::strtol(f[17].c_str(),
+                                                        nullptr, 10));
+    r.throughput_drop = parse_num(f[18]);
+    r.pivots = std::strtol(f[19].c_str(), nullptr, 10);
+    r.phases = std::strtol(f[20].c_str(), nullptr, 10);
+    r.dijkstras = std::strtol(f[21].c_str(), nullptr, 10);
+    r.warm = static_cast<int>(std::strtol(f[22].c_str(), nullptr, 10));
     rs.add(std::move(r));
   }
   if (!record.empty()) {
@@ -242,7 +270,8 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
     Table table({"cell", "topology", "servers", "switches", "tm", "seed",
                  "solver", "trials", "throughput", "random_mean",
                  "random_ci95", "relative", "relative_ci95", "cut_bound",
-                 "cut_gap", "cut_method"});
+                 "cut_gap", "cut_method", "scenario", "failed_links",
+                 "throughput_drop", "pivots", "phases", "dijkstras", "warm"});
     for (const CellResult& r : rows_) {
       table.add_row({std::to_string(r.cell), r.topology,
                      std::to_string(r.servers), std::to_string(r.switches),
@@ -251,7 +280,11 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
                      num_short(r.random_mean), num_short(r.random_ci95),
                      num_short(r.relative), num_short(r.relative_ci95),
                      num_short(r.cut_bound), num_short(r.cut_gap),
-                     r.cut_method.empty() ? "na" : r.cut_method});
+                     r.cut_method.empty() ? "na" : r.cut_method,
+                     r.scenario.empty() ? "na" : r.scenario,
+                     int_or_na(r.failed_links), num_short(r.throughput_drop),
+                     std::to_string(r.pivots), std::to_string(r.phases),
+                     std::to_string(r.dijkstras), std::to_string(r.warm)});
     }
     table.print(os, caption);
   }

@@ -38,6 +38,21 @@ struct CellResult {
   double cut_bound = std::numeric_limits<double>::quiet_NaN();
   double cut_gap = std::numeric_limits<double>::quiet_NaN();
   std::string cut_method;    ///< empty when cut bounds were not computed
+  // Failure-scenario columns (Sweep::scenarios): the scenario's label, how
+  // many links it failed, and the throughput drop vs the intact baseline
+  // (1 - degraded/baseline). failed_links uses -1 (CSV "na") as its NA
+  // sentinel since 0 is a legitimate count (pure capacity degradation).
+  std::string scenario;      ///< empty when the sweep has no failure axis
+  int failed_links = -1;
+  double throughput_drop = std::numeric_limits<double>::quiet_NaN();
+  // Solver work counters of the cell's topology solve (see
+  // mcf::SolverStats): simplex pivots vs GK phases/dijkstras are distinct
+  // kinds of work and get distinct columns; `warm` is 1 when the solve was
+  // seeded from a previous solution (warm-start chains, failure cells).
+  long pivots = 0;
+  long phases = 0;
+  long dijkstras = 0;
+  int warm = 0;
 };
 
 /// An ordered collection of cell results with uniform CSV/JSON emission.

@@ -16,11 +16,14 @@ namespace {
 
 /// Exact solver + cut-bound configuration for cache identity: every field
 /// that can change a result (kind, full-precision epsilon, both
-/// Auto-dispatch thresholds, and the cut-bound knobs — the cut sampler's
-/// seed is derived from the cell, so the option-struct seed is excluded).
+/// Auto-dispatch thresholds, the cut-bound knobs — the cut sampler's
+/// seed is derived from the cell, so the option-struct seed is excluded —
+/// and the warm-start mode, whose chained results differ from cold ones).
 /// `parallel` is deliberately excluded — results are scheduling-invariant
 /// by contract, and keying on it would miss between serial and parallel
-/// runs of the same configuration.
+/// runs of the same configuration. Scenario identity is the per-cell
+/// scenario label (trusted like topology labels), carried in the cache key
+/// itself.
 std::string config_fingerprint(const Sweep& s) {
   const mcf::SolveOptions& o = s.solve;
   char buf[160];
@@ -36,14 +39,65 @@ std::string config_fingerprint(const Sweep& s) {
                   c.st_pairs, c.include_bisection ? 1 : 0);
     key += buf;
   }
+  if (s.warm_start) {
+    // A warm cell's result depends on its whole chain prefix (each solve
+    // seeds from the previous TM's solution), so the chain itself — the
+    // ordered TM label list — is part of the configuration identity.
+    // Without it, two warm sweeps sharing a (topology, TM, index) cell but
+    // differing in earlier TMs would collide on one cache entry.
+    key += "|warm";
+    for (const TmSpec& tm : s.tms) {
+      key += '\x1f';
+      key += tm.label;
+    }
+  }
   return key;
 }
 
 std::string cache_key(const std::string& topo, const std::string& tm,
-                      std::uint64_t seed, const Sweep& sweep) {
+                      const std::string& scenario, std::uint64_t seed,
+                      const Sweep& sweep) {
   // \x1f (unit separator) cannot occur in labels built from names.
-  return topo + '\x1f' + tm + '\x1f' + std::to_string(seed) + '\x1f' +
-         config_fingerprint(sweep) + '\x1f' + std::to_string(sweep.trials);
+  return topo + '\x1f' + tm + '\x1f' + scenario + '\x1f' +
+         std::to_string(seed) + '\x1f' + config_fingerprint(sweep) + '\x1f' +
+         std::to_string(sweep.trials);
+}
+
+const std::string& scenario_label_of(const Sweep& sweep, const Cell& c) {
+  static const std::string kEmpty;
+  return sweep.scenarios.empty() ? kEmpty
+                                 : sweep.scenarios[c.scenario].label;
+}
+
+void validate_modes(const Sweep& sweep) {
+  if (!sweep.scenarios.empty()) {
+    if (sweep.trials > 0) {
+      throw std::invalid_argument(
+          "Runner::run: failures mode requires absolute mode (trials == 0)");
+    }
+    if (sweep.cut_bounds) {
+      throw std::invalid_argument(
+          "Runner::run: failures mode does not support cut bounds");
+    }
+    if (sweep.warm_start) {
+      throw std::invalid_argument(
+          "Runner::run: failures mode does not support warm-start chains "
+          "(each failure cell already warm-starts internally)");
+    }
+    for (const ScenarioPoint& p : sweep.scenarios) {
+      if (p.label.empty()) {
+        throw std::invalid_argument("Runner::run: scenario label empty");
+      }
+    }
+  }
+  if (sweep.warm_start && sweep.trials > 0) {
+    throw std::invalid_argument(
+        "Runner::run: warm-start chains require absolute mode (trials == 0)");
+  }
+  if (sweep.warm_start && sweep.cut_bounds) {
+    throw std::invalid_argument(
+        "Runner::run: warm-start chains do not support cut bounds");
+  }
 }
 
 }  // namespace
@@ -64,8 +118,9 @@ std::string solver_label(const mcf::SolveOptions& opts) {
 
 CellResult Runner::eval_cell(const Sweep& sweep,
                              const std::string& topo_label, const Network& net,
-                             const TmSpec& tm_spec,
-                             std::size_t cell_index) const {
+                             const TmSpec& tm_spec, std::size_t cell_index,
+                             const ScenarioPoint* scenario,
+                             mcf::ThroughputEngine* engine, bool warm) const {
   CellResult r;
   r.cell = cell_index;
   // The spec label, not net.name: the label is the identity rows and cache
@@ -78,9 +133,37 @@ CellResult Runner::eval_cell(const Sweep& sweep,
   r.seed = cell_seed;
   r.solver = solver_label(sweep.solve);
   const TrafficMatrix tm = tm_spec.build(net, mix_seed(cell_seed, 0));
+  const auto record_stats = [&r](const mcf::SolverStats& s) {
+    r.pivots = s.pivots;
+    r.phases = s.phases;
+    r.dijkstras = s.dijkstras;
+    r.warm = s.warm_start ? 1 : 0;
+  };
+  if (scenario != nullptr) {
+    // Failure cell: baseline + degraded solve on a cell-private engine.
+    // The scenario sampler draws from the stream after the cut sampler's
+    // (trials + 2), so the failure axis perturbs no existing column.
+    r.trials = 0;
+    r.scenario = scenario->label;
+    mcf::ScenarioSpec spec = scenario->spec;
+    spec.seed =
+        mix_seed(cell_seed, static_cast<std::uint64_t>(sweep.trials) + 2);
+    const DegradedResult deg = degraded_throughput(net, tm, spec, sweep.solve);
+    r.throughput = deg.degraded;
+    r.failed_links = deg.failed_links;
+    r.throughput_drop = deg.drop;
+    record_stats(deg.stats);
+    return r;
+  }
   if (sweep.trials <= 0) {
     r.trials = 0;
-    r.throughput = mcf::compute_throughput(net, tm, sweep.solve).throughput;
+    const mcf::ThroughputResult t =
+        engine != nullptr
+            ? (warm ? engine->warm_solve(tm, sweep.solve)
+                    : engine->solve(tm, sweep.solve))
+            : mcf::compute_throughput(net, tm, sweep.solve);
+    r.throughput = t.throughput;
+    record_stats(t.stats);
   } else {
     r.trials = sweep.trials;
     RelativeOptions ropts;
@@ -93,6 +176,7 @@ CellResult Runner::eval_cell(const Sweep& sweep,
     r.random_ci95 = rel.random_throughput.ci95;
     r.relative = rel.relative;
     r.relative_ci95 = rel.relative_ci95;
+    record_stats(rel.topo_stats);
   }
   if (sweep.cut_bounds) {
     // The cut sampler draws from the stream after the last random-graph
@@ -114,23 +198,58 @@ ResultSet Runner::run(const Sweep& sweep) {
   if (sweep.topologies.empty() || sweep.tms.empty()) {
     throw std::invalid_argument("Runner::run: empty sweep");
   }
+  validate_modes(sweep);
   const std::vector<Cell> cells = expand(sweep);
 
   std::vector<CellResult> out(cells.size());
   std::vector<std::size_t> misses;  // cell indices needing evaluation
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (const Cell& c : cells) {
-      const std::string key = cache_key(
-          sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
-          mix_seed(sweep.base_seed, c.index), sweep);
-      const auto it = cache_.find(key);
-      if (it != cache_.end()) {
-        out[c.index] = it->second;
-        out[c.index].cell = c.index;
-        ++stats_.hits;
-      } else {
-        misses.push_back(c.index);
+    if (!sweep.warm_start) {
+      for (const Cell& c : cells) {
+        const std::string key = cache_key(
+            sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
+            scenario_label_of(sweep, c), mix_seed(sweep.base_seed, c.index),
+            sweep);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+          out[c.index] = it->second;
+          out[c.index].cell = c.index;
+          ++stats_.hits;
+        } else {
+          misses.push_back(c.index);
+        }
+      }
+    } else {
+      // Warm mode: a topology chain is answered from the cache only when
+      // every one of its cells hits — re-solving part of a chain would
+      // change the warm seeds of the rest.
+      const std::size_t per_topo = sweep.tms.size();
+      for (std::size_t t = 0; t < sweep.topologies.size(); ++t) {
+        bool all_hit = true;
+        for (std::size_t m = 0; m < per_topo && all_hit; ++m) {
+          const std::size_t index = t * per_topo + m;
+          const Cell& c = cells[index];
+          all_hit = cache_.find(cache_key(
+                        sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
+                        scenario_label_of(sweep, c),
+                        mix_seed(sweep.base_seed, c.index), sweep)) !=
+                    cache_.end();
+        }
+        for (std::size_t m = 0; m < per_topo; ++m) {
+          const std::size_t index = t * per_topo + m;
+          const Cell& c = cells[index];
+          if (all_hit) {
+            out[c.index] = cache_.at(cache_key(
+                sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
+                scenario_label_of(sweep, c), mix_seed(sweep.base_seed, c.index),
+                sweep));
+            out[c.index].cell = c.index;
+            ++stats_.hits;
+          } else {
+            misses.push_back(c.index);
+          }
+        }
       }
     }
   }
@@ -144,19 +263,55 @@ ResultSet Runner::run(const Sweep& sweep) {
     if (!nets[c.topo]) nets[c.topo] = sweep.topologies[c.topo].build();
   }
 
-  // Evaluate the missing cells — concurrently when allowed — writing each
-  // result into its own slot; everything below the barrier is a
-  // deterministic reduction in cell order.
-  const auto eval = [&](std::size_t k) {
-    const Cell& c = cells[misses[k]];
-    out[c.index] = eval_cell(sweep, sweep.topologies[c.topo].label,
-                             *nets[c.topo], sweep.tms[c.tm], c.index);
-  };
   ThreadPool& pool = ThreadPool::shared();
-  if (parallel_ && misses.size() > 1 && pool.size() > 1) {
-    pool.parallel_for(0, misses.size(), eval);
+  if (!sweep.warm_start) {
+    // Evaluate the missing cells — concurrently when allowed — writing each
+    // result into its own slot; everything below the barrier is a
+    // deterministic reduction in cell order.
+    const auto eval = [&](std::size_t k) {
+      const Cell& c = cells[misses[k]];
+      const ScenarioPoint* scenario =
+          sweep.scenarios.empty() ? nullptr : &sweep.scenarios[c.scenario];
+      out[c.index] = eval_cell(sweep, sweep.topologies[c.topo].label,
+                               *nets[c.topo], sweep.tms[c.tm], c.index,
+                               scenario, /*engine=*/nullptr, /*warm=*/false);
+    };
+    if (parallel_ && misses.size() > 1 && pool.size() > 1) {
+      pool.parallel_for(0, misses.size(), eval);
+    } else {
+      for (std::size_t k = 0; k < misses.size(); ++k) eval(k);
+    }
   } else {
-    for (std::size_t k = 0; k < misses.size(); ++k) eval(k);
+    // Warm mode: one chain per topology with misses (misses are whole
+    // topologies by construction). Chains run concurrently; within a chain
+    // the TM order fixes the warm seeds, so results are thread-count
+    // invariant.
+    const std::size_t per_topo = sweep.tms.size();
+    std::vector<std::size_t> chain_topos;
+    for (const std::size_t index : misses) {
+      const std::size_t t = index / per_topo;
+      if (chain_topos.empty() || chain_topos.back() != t) {
+        chain_topos.push_back(t);
+      }
+    }
+    const auto eval_chain = [&](std::size_t k) {
+      const std::size_t t = chain_topos[k];
+      mcf::ThroughputEngine engine(*nets[t]);
+      for (std::size_t m = 0; m < per_topo; ++m) {
+        const std::size_t index = t * per_topo + m;
+        // The whole chain runs in session mode (the first cell has no
+        // previous solution to seed from but still gets the session
+        // dynamics; see ThroughputEngine::warm_solve).
+        out[index] = eval_cell(sweep, sweep.topologies[t].label, *nets[t],
+                               sweep.tms[m], index, /*scenario=*/nullptr,
+                               &engine, /*warm=*/true);
+      }
+    };
+    if (parallel_ && chain_topos.size() > 1 && pool.size() > 1) {
+      pool.parallel_for(0, chain_topos.size(), eval_chain);
+    } else {
+      for (std::size_t k = 0; k < chain_topos.size(); ++k) eval_chain(k);
+    }
   }
 
   {
@@ -164,7 +319,9 @@ ResultSet Runner::run(const Sweep& sweep) {
     for (const std::size_t index : misses) {
       const Cell& c = cells[index];
       cache_.emplace(cache_key(sweep.topologies[c.topo].label,
-                               sweep.tms[c.tm].label, out[index].seed, sweep),
+                               sweep.tms[c.tm].label,
+                               scenario_label_of(sweep, c), out[index].seed,
+                               sweep),
                      out[index]);
       ++stats_.misses;
     }

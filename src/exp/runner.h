@@ -6,22 +6,41 @@
 // trial t in [1..trials] draws its same-equipment graph from
 // mix_seed(base, cell, t). When Sweep::cut_bounds is set, the cut-bound
 // sampler draws from mix_seed(base, cell, trials + 1) — the stream after
-// the last trial — so enabling it perturbs no existing column. Cells run
-// concurrently on ThreadPool::shared()
+// the last trial — and when the sweep has a failure axis, the scenario's
+// random-failure sampler draws from mix_seed(base, cell, trials + 2), the
+// stream after the cut sampler, so enabling either perturbs no existing
+// column. Cells run concurrently on ThreadPool::shared()
 // (nested solver parallelism degrades inline — see thread_pool.h) and the
 // ResultSet is assembled after the barrier in cell order, so for a fixed
 // base seed the output is byte-identical for any thread count, including
 // TOPOBENCH_THREADS=1.
 //
+// Failures mode (Sweep::scenarios non-empty): each cell evaluates
+// core's degraded_throughput — a cold baseline solve, the scenario applied
+// as an incremental engine perturbation, and a warm degraded solve — on a
+// cell-private ThroughputEngine, so cells stay independent and the
+// determinism contract is unchanged. Requires absolute mode (trials == 0,
+// no cut bounds, no warm chains).
+//
+// Warm-start mode (Sweep::warm_start): the evaluation unit becomes the
+// topology, not the cell — each topology's TM cells run as one ordered
+// chain on a shared ThroughputEngine (first solve cold, the rest seeded
+// from the previous solution). Topologies still run concurrently and a
+// chain's order is the TM order, so results remain thread-count invariant;
+// they differ from cold results within the solver's certified gap. A
+// topology is answered from the cache only when ALL its cells hit —
+// otherwise the whole chain re-evaluates (a partial chain would change the
+// warm seeds). Requires absolute mode without scenarios or cut bounds.
+//
 // Cache contract: results are memoized under (topology label, TM label,
-// cell seed, solver + cut-bound configuration, trial count). Because the
-// cell seed is derived from the flat expansion index, a lookup hits only
-// when the cell
-// sits at the same index under the same base seed: exact re-runs of a
-// sweep hit entirely, and sweeps extended by appending topologies (with
-// the TM list unchanged) hit on their shared prefix. Inserting topologies
-// or changing the TM list shifts later indices and re-evaluates those
-// cells. Labels are trusted as identities (see sweep.h).
+// scenario label, cell seed, solver + cut-bound + warm configuration,
+// trial count). Because the cell seed is derived from the flat expansion
+// index, a lookup hits only when the cell sits at the same index under the
+// same base seed: exact re-runs of a sweep hit entirely, and sweeps
+// extended by appending topologies (with the TM list unchanged) hit on
+// their shared prefix. Inserting topologies or changing the TM list shifts
+// later indices and re-evaluates those cells. Labels are trusted as
+// identities (see sweep.h).
 #pragma once
 
 #include <cstddef>
@@ -50,14 +69,20 @@ class Runner {
   Runner& operator=(const Runner&) = delete;
 
   /// Evaluate every cell of `sweep` and return results in cell order.
+  /// Throws std::invalid_argument on an empty grid or an invalid mode
+  /// combination (see the failures / warm-start contracts above).
   ResultSet run(const Sweep& sweep);
 
   const CacheStats& cache_stats() const noexcept { return stats_; }
 
  private:
+  /// Evaluate one cell. `scenario` is non-null in failures mode. `engine`
+  /// is non-null in warm-start mode (the topology chain's shared session;
+  /// `warm` selects warm_solve for every chain position after the first).
   CellResult eval_cell(const Sweep& sweep, const std::string& topo_label,
                        const Network& net, const TmSpec& tm,
-                       std::size_t cell_index) const;
+                       std::size_t cell_index, const ScenarioPoint* scenario,
+                       mcf::ThroughputEngine* engine, bool warm) const;
 
   bool parallel_;
   std::mutex mutex_;

@@ -1,6 +1,7 @@
 #include "exp/sweep.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <utility>
@@ -10,26 +11,24 @@
 namespace tb::exp {
 
 std::vector<Cell> expand(const Sweep& s) {
+  const std::size_t num_scenarios =
+      std::max<std::size_t>(1, s.scenarios.size());
   std::vector<Cell> cells;
-  cells.reserve(s.topologies.size() * s.tms.size());
+  cells.reserve(s.topologies.size() * s.tms.size() * num_scenarios);
   for (std::size_t t = 0; t < s.topologies.size(); ++t) {
     for (std::size_t m = 0; m < s.tms.size(); ++m) {
-      cells.push_back({cells.size(), t, m});
+      for (std::size_t c = 0; c < num_scenarios; ++c) {
+        cells.push_back({cells.size(), t, m, c});
+      }
     }
   }
   return cells;
 }
 
-namespace {
-
-/// Wrap an already-built instance: the label is the network's own name, so
-/// the label <-> instance contract holds by construction.
-TopoSpec spec_of(Network net) {
+TopoSpec instance_spec(Network net) {
   auto shared = std::make_shared<const Network>(std::move(net));
   return {shared->name, [shared] { return shared; }};
 }
-
-}  // namespace
 
 std::vector<TopoSpec> ladder_specs(const std::vector<Family>& families,
                                    int min_servers, int max_servers,
@@ -37,7 +36,7 @@ std::vector<TopoSpec> ladder_specs(const std::vector<Family>& families,
   std::vector<TopoSpec> specs;
   for (const Family f : families) {
     for (Network& net : family_instances(f, min_servers, max_servers, seed)) {
-      specs.push_back(spec_of(std::move(net)));
+      specs.push_back(instance_spec(std::move(net)));
     }
   }
   return specs;
@@ -45,7 +44,7 @@ std::vector<TopoSpec> ladder_specs(const std::vector<Family>& families,
 
 TopoSpec representative_spec(Family f, int target_servers,
                              std::uint64_t seed) {
-  return spec_of(family_representative(f, target_servers, seed));
+  return instance_spec(family_representative(f, target_servers, seed));
 }
 
 Sweep relative_scaling_sweep(const std::vector<Family>& families,
@@ -80,6 +79,36 @@ TmSpec longest_matching_tm() {
   return {"LM", [](const Network& net, std::uint64_t) {
             return longest_matching(net);
           }};
+}
+
+TmSpec kodialam_tm_spec() {
+  return {"Kodialam", [](const Network& net, std::uint64_t) {
+            return kodialam_tm(net);
+          }};
+}
+
+std::vector<ScenarioPoint> random_failure_scenarios(
+    const std::vector<double>& fractions) {
+  std::vector<ScenarioPoint> points;
+  points.reserve(fractions.size());
+  for (const double f : fractions) {
+    ScenarioPoint p;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "fail(f=%g)", f);
+    p.label = buf;
+    p.spec.random_edge_fraction = f;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+ScenarioPoint degrade_scenario(double factor) {
+  ScenarioPoint p;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "degrade(c=%g)", factor);
+  p.label = buf;
+  p.spec.capacity_factor = factor;
+  return p;
 }
 
 double env_eps(double fallback) {

@@ -19,6 +19,7 @@
 
 #include "core/evaluator.h"
 #include "core/registry.h"
+#include "mcf/engine.h"
 #include "mcf/throughput.h"
 #include "tm/traffic_matrix.h"
 #include "topo/network.h"
@@ -40,7 +41,17 @@ struct TmSpec {
   std::function<TrafficMatrix(const Network&, std::uint64_t seed)> build;
 };
 
-/// The grid: every topology crossed with every TM family.
+/// One point of a sweep's failure axis: a labeled degraded-network
+/// scenario. The label is the row/cache identity of the scenario (like
+/// TopoSpec labels, equal labels must mean equal specs); the spec's seed is
+/// overridden per cell by the runner (see runner.h).
+struct ScenarioPoint {
+  std::string label;
+  mcf::ScenarioSpec spec;
+};
+
+/// The grid: every topology crossed with every TM family (and, in failures
+/// mode, every scenario).
 struct Sweep {
   std::vector<TopoSpec> topologies;
   std::vector<TmSpec> tms;
@@ -52,20 +63,42 @@ struct Sweep {
   bool cut_bounds = false;     ///< fill the cut_bound/cut_gap/cut_method
                                ///< columns via core's cut_upper_bound
   CutBoundOptions cut_bound_opts;  ///< seed is overridden per cell
+  /// Failures mode: when non-empty, the grid gains a scenario axis — each
+  /// (topology, TM) pair is evaluated once per scenario via
+  /// core's degraded_throughput, filling the scenario / failed_links /
+  /// throughput_drop columns (throughput is the degraded value). Requires
+  /// absolute mode (trials == 0) without cut bounds; the runner throws
+  /// otherwise.
+  std::vector<ScenarioPoint> scenarios;
+  /// Warm-start mode: evaluate each topology's TM cells as one ordered
+  /// chain on a shared ThroughputEngine, seeding every solve after the
+  /// first from the previous solution (GK lengths / LP basis). Chains stay
+  /// deterministic (topologies run concurrently, a chain runs in TM
+  /// order); results agree with cold ones within the certified gap, not
+  /// bitwise. Requires absolute mode without scenarios.
+  bool warm_start = false;
 };
 
-/// One cell of the expanded grid: indices into the sweep's topology and TM
-/// lists plus the flat expansion index that seeds the cell.
+/// One cell of the expanded grid: indices into the sweep's topology, TM,
+/// and (failures mode) scenario lists plus the flat expansion index that
+/// seeds the cell.
 struct Cell {
   std::size_t index = 0;
   std::size_t topo = 0;
   std::size_t tm = 0;
+  std::size_t scenario = 0;  ///< always 0 outside failures mode
 };
 
-/// Row-major (topology-major) expansion: cell index = topo * #tms + tm.
+/// Row-major (topology-major) expansion:
+/// cell index = (topo * #tms + tm) * max(1, #scenarios) + scenario.
 std::vector<Cell> expand(const Sweep& s);
 
 // --- registry-backed builders -------------------------------------------
+
+/// Wrap a prebuilt instance: the spec's label is the network's own name
+/// (the label <-> instance contract holds by construction), and repeated
+/// build() calls hand out the same shared instance.
+TopoSpec instance_spec(Network net);
 
 /// Specs for every ladder instance of `families` whose server count lies in
 /// [min_servers, max_servers], in registry order. `seed` feeds randomized
@@ -89,6 +122,21 @@ Sweep relative_scaling_sweep(const std::vector<Family>& families,
 TmSpec a2a_tm();                      ///< all-to-all, label "A2A"
 TmSpec random_matching_tm(int k);     ///< k matchings, label "RM(k)"
 TmSpec longest_matching_tm();         ///< near-worst-case, label "LM"
+TmSpec kodialam_tm_spec();            ///< LP-based near-worst-case,
+                                      ///< label "Kodialam" (H^2 LP columns —
+                                      ///< keep hosts <= ~200, see synthetic.h)
+
+// --- failure-scenario grids ---------------------------------------------
+
+/// Random link-failure scenarios, one per fraction: each fails
+/// round(f * num_edges) sampled edges, labeled "fail(f=<f>)". The runner
+/// derives each cell's sampling seed (see runner.h).
+std::vector<ScenarioPoint> random_failure_scenarios(
+    const std::vector<double>& fractions);
+
+/// Uniform capacity degradation to `factor` of nominal on every link,
+/// labeled "degrade(c=<factor>)". No links fail (failed_links == 0).
+ScenarioPoint degrade_scenario(double factor);
 
 // --- environment knobs (shared by every driver) -------------------------
 // Solver accuracy, trial counts and sweep sizes can be tightened from the

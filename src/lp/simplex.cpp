@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -106,6 +107,87 @@ Standardized standardize(const Problem& p) {
   return s;
 }
 
+/// Attempt a warm start from candidate basis `cand` (a prior Result::basis
+/// of a same-shaped problem): build the dense basis matrix, invert it by
+/// Gauss-Jordan with partial pivoting, and accept only if it is nonsingular
+/// and the implied basic solution is primal feasible. On success fills
+/// basis/binv/xb; on any failure leaves them untouched and returns false so
+/// the caller falls back to the cold slack/artificial start.
+bool try_warm_basis(const Standardized& s, const std::vector<int>& cand,
+                    std::vector<int>& basis, std::vector<double>& binv,
+                    std::vector<double>& xb) {
+  const int m = s.m;
+  if (static_cast<int>(cand.size()) != m) return false;
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(s.n), 0);
+  for (const int j : cand) {
+    if (j < 0 || j >= s.n || used[static_cast<std::size_t>(j)]) return false;
+    used[static_cast<std::size_t>(j)] = 1;
+  }
+  // Augmented [B | I], row-major; Gauss-Jordan turns it into [I | B^-1].
+  const auto w = static_cast<std::size_t>(2 * m);
+  std::vector<double> aug(static_cast<std::size_t>(m) * w, 0.0);
+  for (int c = 0; c < m; ++c) {
+    for (const auto& [r, v] : s.cols[static_cast<std::size_t>(cand[c])]) {
+      aug[static_cast<std::size_t>(r) * w + static_cast<std::size_t>(c)] = v;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    aug[static_cast<std::size_t>(i) * w + static_cast<std::size_t>(m + i)] =
+        1.0;
+  }
+  for (int col = 0; col < m; ++col) {
+    int piv = -1;
+    double best = 1e-9;
+    for (int r = col; r < m; ++r) {
+      const double v = std::abs(
+          aug[static_cast<std::size_t>(r) * w + static_cast<std::size_t>(col)]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (piv < 0) return false;  // singular candidate basis
+    if (piv != col) {
+      for (std::size_t j = 0; j < w; ++j) {
+        std::swap(aug[static_cast<std::size_t>(piv) * w + j],
+                  aug[static_cast<std::size_t>(col) * w + j]);
+      }
+    }
+    double* prow = &aug[static_cast<std::size_t>(col) * w];
+    const double inv = 1.0 / prow[col];
+    for (std::size_t j = 0; j < w; ++j) prow[j] *= inv;
+    for (int r = 0; r < m; ++r) {
+      if (r == col) continue;
+      double* row = &aug[static_cast<std::size_t>(r) * w];
+      const double f = row[col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < w; ++j) row[j] -= f * prow[j];
+    }
+  }
+  // xb = B^-1 b must be (near-)nonnegative for a primal-feasible start.
+  std::vector<double> cand_xb(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < m; ++j) {
+      acc += aug[static_cast<std::size_t>(i) * w +
+                 static_cast<std::size_t>(m + j)] *
+             s.b[static_cast<std::size_t>(j)];
+    }
+    if (acc < -1e-7) return false;
+    cand_xb[static_cast<std::size_t>(i)] = std::max(acc, 0.0);
+  }
+  basis = cand;
+  xb = std::move(cand_xb);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      binv[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)] =
+          aug[static_cast<std::size_t>(i) * w +
+              static_cast<std::size_t>(m + j)];
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* status_name(Status s) {
@@ -141,10 +223,19 @@ Result solve(const Problem& p, const Options& opts) {
     return res;
   }
 
-  // Initial basis: per row, its slack if one exists with +1 coefficient,
-  // else its artificial.
   std::vector<int> basis(static_cast<std::size_t>(m), -1);
-  {
+  std::vector<double> binv(static_cast<std::size_t>(m) *
+                               static_cast<std::size_t>(m),
+                           0.0);
+  std::vector<double> xb;
+  if (opts.warm_basis != nullptr &&
+      try_warm_basis(s, *opts.warm_basis, basis, binv, xb)) {
+    res.warm_started = true;
+  } else {
+    // Cold start: per row, its slack if one exists with +1 coefficient,
+    // else its artificial. Binv is the identity (slack/artificial columns
+    // are unit vectors).
+    basis.assign(static_cast<std::size_t>(m), -1);
     for (int j = s.num_struct; j < n; ++j) {
       const auto& col = s.cols[static_cast<std::size_t>(j)];
       if (col.size() == 1 && col[0].second == 1.0) {
@@ -158,21 +249,13 @@ Result solve(const Problem& p, const Options& opts) {
       if (basis[static_cast<std::size_t>(i)] == -1) {
         throw std::logic_error("lp::solve: missing initial basis column");
       }
+      binv[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(i)] = 1.0;
     }
+    xb = s.b;
   }
 
   std::vector<std::uint8_t> in_basis(static_cast<std::size_t>(n), 0);
   for (const int j : basis) in_basis[static_cast<std::size_t>(j)] = 1;
-
-  // Dense basis inverse, row-major. Initially identity (slack/artificial
-  // columns are unit vectors).
-  std::vector<double> binv(static_cast<std::size_t>(m) *
-                               static_cast<std::size_t>(m),
-                           0.0);
-  for (int i = 0; i < m; ++i) {
-    binv[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(i)] = 1.0;
-  }
-  std::vector<double> xb = s.b;  // basic variable values
 
   const long max_iter = opts.max_iterations > 0
                             ? opts.max_iterations
@@ -316,6 +399,7 @@ Result solve(const Problem& p, const Options& opts) {
         obj_sign * y[static_cast<std::size_t>(i)] *
         s.row_flip[static_cast<std::size_t>(i)];
   }
+  res.basis = basis;
   res.status = Status::Optimal;
   return res;
 }

@@ -51,12 +51,29 @@ struct Result {
   std::vector<double> x;     ///< primal solution, size num_vars
   std::vector<double> dual;  ///< dual value per input row (sign per sense)
   long iterations = 0;
+  /// Optimal basis: one internal column index per row, in row order. The
+  /// numbering covers structural variables [0, num_vars) followed by the
+  /// slack/surplus/artificial columns the standardizer appends, so it is
+  /// stable across solves of problems with identical shape (same variable
+  /// count and same row-sense sequence). Feed it back via
+  /// Options::warm_basis to re-solve a nearby instance without the
+  /// slack-basis cold start. Empty unless status == Optimal.
+  std::vector<int> basis;
+  /// True when the solve actually started from Options::warm_basis (the
+  /// candidate basis was nonsingular and primal feasible).
+  bool warm_started = false;
 };
 
 struct Options {
   long max_iterations = 0;   ///< 0 means automatic (50 * (rows + cols) + 5000)
   double pivot_tol = 1e-9;   ///< minimum magnitude for a pivot element
   double cost_tol = 1e-8;    ///< reduced-cost optimality tolerance
+  /// Candidate starting basis (a previous Result::basis from a same-shaped
+  /// problem). Tried opportunistically: if it is the wrong size, singular,
+  /// or infeasible for this instance, the solver silently falls back to
+  /// the cold slack/artificial start. Never affects correctness — only the
+  /// pivot count.
+  const std::vector<int>* warm_basis = nullptr;
 };
 
 /// Solve the LP. The returned x satisfies all rows within ~1e-6.

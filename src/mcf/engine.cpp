@@ -1,0 +1,238 @@
+#include "mcf/engine.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace tb::mcf {
+
+ThroughputEngine::ThroughputEngine(const Network& net)
+    : net_(&net), gk_(net.graph) {}
+
+void ThroughputEngine::apply_scenario(const ScenarioSpec& spec) {
+  clear_scenario();
+  const Graph& g = net_->graph;
+  const int num_edges = g.num_edges();
+  const int n = g.num_nodes();
+  if (!(spec.capacity_factor > 0.0) || spec.capacity_factor > 1.0) {
+    throw std::invalid_argument(
+        "apply_scenario: capacity_factor must be in (0, 1]");
+  }
+  if (spec.random_edge_fraction < 0.0 || spec.random_edge_fraction > 1.0) {
+    throw std::invalid_argument(
+        "apply_scenario: random_edge_fraction must be in [0, 1]");
+  }
+  std::vector<char> fail(static_cast<std::size_t>(num_edges), 0);
+  for (const int e : spec.failed_edges) {
+    if (e < 0 || e >= num_edges) {
+      throw std::out_of_range("apply_scenario: bad edge id");
+    }
+    fail[static_cast<std::size_t>(e)] = 1;
+  }
+  node_failed_.assign(static_cast<std::size_t>(n), 0);
+  for (const int v : spec.failed_nodes) {
+    if (v < 0 || v >= n) {
+      throw std::out_of_range("apply_scenario: bad node id");
+    }
+    node_failed_[static_cast<std::size_t>(v)] = 1;
+    any_node_failed_ = true;
+  }
+  if (any_node_failed_) {
+    for (int e = 0; e < num_edges; ++e) {
+      if (node_failed_[static_cast<std::size_t>(g.edge_u(e))] ||
+          node_failed_[static_cast<std::size_t>(g.edge_v(e))]) {
+        fail[static_cast<std::size_t>(e)] = 1;
+      }
+    }
+  }
+  if (spec.random_edge_fraction > 0.0 && num_edges > 0) {
+    const int k = static_cast<int>(std::min<long long>(
+        num_edges, std::llround(spec.random_edge_fraction * num_edges)));
+    Rng rng(spec.seed);
+    for (const int e : rng.sample_without_replacement(num_edges, k)) {
+      fail[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  // Perturb only the edges whose working capacity actually changes, and
+  // remember their unperturbed values: clear_scenario() repairs from this
+  // list in O(affected arcs) instead of rebuilding the session.
+  for (int e = 0; e < num_edges; ++e) {
+    const double base = g.edge_cap(e);
+    const bool failed = fail[static_cast<std::size_t>(e)] != 0;
+    const double now = failed ? 0.0 : base * spec.capacity_factor;
+    if (failed) ++failed_edge_count_;
+    if (now != base) {
+      touched_.emplace_back(e, base);
+      gk_.set_edge_capacity(e, now);
+    }
+  }
+  drop_node_demands_ = spec.drop_failed_node_demands;
+  scenario_active_ = true;
+}
+
+void ThroughputEngine::clear_scenario() {
+  for (const auto& [e, base] : touched_) gk_.set_edge_capacity(e, base);
+  touched_.clear();
+  node_failed_.clear();
+  scenario_active_ = false;
+  any_node_failed_ = false;
+  drop_node_demands_ = true;
+  failed_edge_count_ = 0;
+}
+
+bool ThroughputEngine::demands_connected(const TrafficMatrix& tm) {
+  const Graph& g = net_->graph;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const std::vector<double>& cap = gk_.arc_capacities();
+  comp_.assign(n, -1);
+  int next_comp = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (comp_[s] >= 0) continue;
+    const int c = next_comp++;
+    comp_[s] = c;
+    bfs_queue_.clear();
+    bfs_queue_.push_back(static_cast<int>(s));
+    for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+      const int v = bfs_queue_[head];
+      for (const int a : g.out_arcs(v)) {
+        if (cap[static_cast<std::size_t>(a)] <= 0.0) continue;
+        const int w = g.arc_to(a);
+        if (comp_[static_cast<std::size_t>(w)] < 0) {
+          comp_[static_cast<std::size_t>(w)] = c;
+          bfs_queue_.push_back(w);
+        }
+      }
+    }
+  }
+  for (const Demand& d : tm.demands) {
+    if (comp_[static_cast<std::size_t>(d.src)] !=
+        comp_[static_cast<std::size_t>(d.dst)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ThroughputResult ThroughputEngine::solve(const TrafficMatrix& tm,
+                                         const SolveOptions& opts) {
+  return run(tm, opts, /*warm=*/false);
+}
+
+ThroughputResult ThroughputEngine::warm_solve(const TrafficMatrix& tm,
+                                              const SolveOptions& opts) {
+  return run(tm, opts, /*warm=*/true);
+}
+
+ThroughputResult ThroughputEngine::run(const TrafficMatrix& tm,
+                                       const SolveOptions& opts, bool warm) {
+  validate_tm(tm, *net_, /*check_hose=*/false);
+
+  // Under a scenario with failed nodes, the unservable demands are either
+  // dropped (throughput over the surviving commodities) or kept (forcing
+  // throughput to 0 via the disconnection check below).
+  const TrafficMatrix* effective = &tm;
+  TrafficMatrix filtered;
+  if (scenario_active_ && any_node_failed_ && drop_node_demands_) {
+    filtered.name = tm.name;
+    filtered.demands.reserve(tm.demands.size());
+    for (const Demand& d : tm.demands) {
+      if (!node_failed_[static_cast<std::size_t>(d.src)] &&
+          !node_failed_[static_cast<std::size_t>(d.dst)]) {
+        filtered.demands.push_back(d);
+      }
+    }
+    effective = &filtered;
+  }
+
+  if (scenario_active_ &&
+      (effective->demands.empty() || !demands_connected(*effective))) {
+    // A demand the surviving capacities cannot serve (or no demands left at
+    // all) makes 0 the exact optimum of the concurrent-flow LP.
+    ThroughputResult zero;
+    zero.solver = "disconnected";
+    return zero;
+  }
+
+  // Auto dispatch, as in compute_throughput: the dense simplex degrades
+  // steeply with LP size (sources x arcs flow variables), so ExactLP is
+  // only picked when the instance is genuinely small.
+  long num_sources = 0;
+  {
+    std::vector<char> seen(static_cast<std::size_t>(net_->graph.num_nodes()),
+                           0);
+    for (const Demand& d : effective->demands) {
+      if (!seen[static_cast<std::size_t>(d.src)]) {
+        seen[static_cast<std::size_t>(d.src)] = 1;
+        ++num_sources;
+      }
+    }
+  }
+  const bool use_exact =
+      opts.kind == SolverKind::ExactLP ||
+      (opts.kind == SolverKind::Auto &&
+       net_->graph.num_nodes() <= opts.exact_max_switches &&
+       lp_size_within(num_sources, net_->graph.num_arcs(),
+                      opts.exact_max_lp_size));
+  if (use_exact) {
+    ExactLpSession session;
+    if (scenario_active_) session.arc_caps = &gk_.arc_capacities();
+    bool warm_used = false;
+    if (warm && !lp_basis_.empty()) session.warm_basis = &lp_basis_;
+    session.basis_out = &lp_basis_;
+    session.warm_started_out = &warm_used;
+    ThroughputResult res = throughput_exact_lp(net_->graph, *effective,
+                                               session);
+    res.stats.warm_start = warm_used;
+    return res;
+  }
+
+  GkOptions gkopts;
+  gkopts.epsilon = opts.epsilon;
+  gkopts.parallel = opts.parallel;
+  // Warm solves run the session dynamics (Fleischer-style tree reuse, see
+  // GkOptions::reuse_trees). Cross-solve length seeding additionally kicks
+  // in only when this TM routes the same commodity pairs as the previous
+  // solve (failure scenarios, scaled demands): across *different* TMs the
+  // previous bottleneck shape misleads more than it helps — empirically it
+  // inflates trivially-converging instances by orders of magnitude.
+  gkopts.reuse_trees = warm;
+  std::uint64_t fp = 0x9e3779b97f4a7c15ULL;
+  for (const Demand& d : effective->demands) {
+    fp += mix_seed(static_cast<std::uint64_t>(d.src),
+                   static_cast<std::uint64_t>(d.dst));
+  }
+  const bool seed_lengths = warm && fp == gk_tm_fingerprint_;
+  const Timer timer;
+  const GkResult r = gk_.solve(*effective, gkopts, seed_lengths);
+  gk_tm_fingerprint_ = fp;
+  static const bool debug = [] {
+    const char* s = std::getenv("TOPOBENCH_DEBUG");
+    return s != nullptr && s[0] == '1';
+  }();
+  if (debug) {
+    std::fprintf(stderr,
+                 "[gk] %-28s tm=%-12s flows=%-6zu phases=%-7ld gap=%.3f "
+                 "t=%.4f warm=%d %.2fs\n",
+                 net_->name.c_str(), effective->name.c_str(),
+                 effective->num_flows(), r.phases,
+                 r.throughput > 0 ? r.upper_bound / r.throughput - 1.0 : -1.0,
+                 r.throughput, r.warm_started ? 1 : 0, timer.seconds());
+  }
+  ThroughputResult res;
+  res.throughput = r.throughput;
+  res.upper_bound = r.upper_bound;
+  res.solver = "garg-konemann";
+  res.stats.phases = r.phases;
+  res.stats.dijkstras = r.dijkstras;
+  // "Warm" records that the solve ran in the session mode (tree reuse,
+  // plus length seeding when the commodity fingerprint matched).
+  res.stats.warm_start = warm;
+  return res;
+}
+
+}  // namespace tb::mcf

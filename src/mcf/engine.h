@@ -1,0 +1,133 @@
+// ThroughputEngine — a reusable solver session bound to one topology.
+//
+// Every figure in the paper is a sweep in which the topology stays fixed
+// while the TM, scale factor, or solver varies. The stateless
+// compute_throughput free function rebuilds adjacency, commodity
+// aggregation, and solver state per call; the engine is constructed once
+// per topology and keeps all of that alive across solves:
+//
+//   * the preprocessed CSR graph (borrowed from the Network, which must
+//     outlive the engine);
+//   * the GargKonemann session (GkSolver): working per-arc capacities and
+//     every arc-length / flow / Dijkstra buffer, reused between solves;
+//   * the last ExactLP optimal basis, reused as a simplex warm start.
+//
+// solve() is a cold solve — bitwise identical to compute_throughput on an
+// unperturbed engine. warm_solve() seeds the solver from the previous
+// solution (GK arc lengths; the LP basis): for ladders of nearby instances
+// (TM families on one topology, degraded-capacity variants) the certified
+// gap closes in far fewer phases. Warm results agree with cold ones within
+// the certified primal/dual gap, not bitwise — the ExactLP path stays
+// exact either way.
+//
+// The scenario layer models degraded networks (paper's robustness
+// discussion): ScenarioSpec describes link/node failure sets, uniform
+// capacity degradation, and seeded random failure sampling;
+// apply_scenario() perturbs only the affected arcs of the engine's working
+// capacities (remembering their prior values), and clear_scenario()
+// repairs them in O(affected arcs). Failed arcs are never routed; demands
+// that a scenario disconnects make throughput exactly 0 (the concurrent
+// flow must serve every commodity), reported with solver = "disconnected".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcf/garg_konemann.h"
+#include "mcf/throughput.h"
+#include "tm/traffic_matrix.h"
+#include "topo/network.h"
+
+namespace tb::mcf {
+
+/// A degraded-network scenario, applied to an engine as an incremental
+/// perturbation. Explicit failure sets, node failures (a failed node loses
+/// every incident link), uniform capacity degradation of the surviving
+/// links, and seeded random link-failure sampling compose in one spec.
+struct ScenarioSpec {
+  std::vector<int> failed_edges;  ///< edge ids to remove outright
+  std::vector<int> failed_nodes;  ///< nodes whose incident edges all fail
+  /// Capacity multiplier in (0, 1] applied to every surviving edge.
+  double capacity_factor = 1.0;
+  /// Additionally fail round(fraction * num_edges) distinct edges sampled
+  /// uniformly with `seed` (deterministic; may overlap the explicit sets).
+  double random_edge_fraction = 0.0;
+  std::uint64_t seed = 0;
+  /// Drop demands whose endpoint is a failed node (they cannot possibly be
+  /// served; throughput is then over the surviving commodities). With this
+  /// false, such demands stay and force throughput to 0.
+  bool drop_failed_node_demands = true;
+};
+
+/// Reusable throughput solver session. Construct once per topology; `net`
+/// must outlive the engine. Not thread-safe — one engine per thread of
+/// control (the exp runner builds one per evaluation chain).
+class ThroughputEngine {
+ public:
+  explicit ThroughputEngine(const Network& net);
+
+  ThroughputEngine(const ThroughputEngine&) = delete;
+  ThroughputEngine& operator=(const ThroughputEngine&) = delete;
+
+  /// Cold solve under the current (possibly scenario-degraded) capacities.
+  /// Equivalent to compute_throughput when no scenario is active.
+  ThroughputResult solve(const TrafficMatrix& tm,
+                         const SolveOptions& opts = {});
+
+  /// Like solve(), but seeds the solver from the previous solution on this
+  /// engine (GK arc lengths / ExactLP basis). Falls back to a cold start
+  /// when no previous solution exists; ThroughputResult::stats.warm_start
+  /// records whether warm state was actually used.
+  ThroughputResult warm_solve(const TrafficMatrix& tm,
+                              const SolveOptions& opts = {});
+
+  /// Apply `spec` to the working capacities (replacing any active
+  /// scenario). Touches only the affected arcs and remembers their prior
+  /// capacities so clear_scenario() repairs in O(affected arcs). Throws
+  /// std::out_of_range / std::invalid_argument on bad ids or factors.
+  void apply_scenario(const ScenarioSpec& spec);
+
+  /// Restore the unperturbed capacities (O(affected arcs) repair).
+  void clear_scenario();
+
+  bool scenario_active() const noexcept { return scenario_active_; }
+  /// Edges with zero capacity under the active scenario (0 when none).
+  int failed_edge_count() const noexcept { return failed_edge_count_; }
+  const Network& network() const noexcept { return *net_; }
+
+ private:
+  ThroughputResult run(const TrafficMatrix& tm, const SolveOptions& opts,
+                       bool warm);
+  /// True when every demand connects nodes in one component of the
+  /// surviving (capacity > 0) subgraph.
+  bool demands_connected(const TrafficMatrix& tm);
+
+  const Network* net_;
+  GkSolver gk_;  ///< owns the working per-arc capacities
+
+  // Scenario bookkeeping: touched edges with their undegraded capacities
+  // (the O(affected) repair list) and the failed-node mask for demand
+  // filtering.
+  std::vector<std::pair<int, double>> touched_;
+  std::vector<char> node_failed_;
+  bool scenario_active_ = false;
+  bool any_node_failed_ = false;
+  bool drop_node_demands_ = true;
+  int failed_edge_count_ = 0;
+
+  // ExactLP warm state: last optimal basis (empty until an LP solve).
+  std::vector<int> lp_basis_;
+
+  // Commodity-set fingerprint of the last GK solve: length seeding is only
+  // sound-and-useful between *nearby* instances — same (src, dst) pairs
+  // with perturbed capacities or scaled demands — so warm_solve seeds GK
+  // lengths only when the fingerprint matches (tree-reuse session dynamics
+  // run either way). 0 = no previous GK solve.
+  std::uint64_t gk_tm_fingerprint_ = 0;
+
+  // Scratch for demands_connected (component labels per node).
+  std::vector<int> comp_;
+  std::vector<int> bfs_queue_;
+};
+
+}  // namespace tb::mcf

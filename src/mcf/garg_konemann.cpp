@@ -16,16 +16,11 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-struct SourceGroup {
-  int src = 0;
-  std::vector<std::pair<int, double>> sinks;  // (dst, demand)
-  double out_total = 0.0;
-};
-
 /// Dijkstra that stops once all of `targets` are settled (big win for
 /// matching TMs where each source has a single sink). Nodes not settled
 /// keep dist = +inf and parent = -1; every settled sink's tree path passes
-/// only through settled nodes, which is all the routing needs.
+/// only through settled nodes, which is all the routing needs. Failed arcs
+/// carry length = +inf and therefore never relax anything.
 void dijkstra_to_targets(const Graph& g, int src,
                          const std::vector<double>& len,
                          const std::vector<std::pair<int, double>>& targets,
@@ -70,40 +65,167 @@ void dijkstra_to_targets(const Graph& g, int src,
 
 }  // namespace
 
-GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
-                             const GkOptions& opts) {
+GkSolver::GkSolver(const Graph& g) : g_(&g) {
   assert(g.finalized());
+  const int num_arcs = g.num_arcs();
+  cap_.resize(static_cast<std::size_t>(num_arcs));
+  for (int a = 0; a < num_arcs; ++a) {
+    cap_[static_cast<std::size_t>(a)] = g.arc_cap(a);
+  }
+}
+
+void GkSolver::set_edge_capacity(int e, double cap) {
+  if (e < 0 || e >= g_->num_edges()) {
+    throw std::out_of_range("GkSolver::set_edge_capacity: bad edge id");
+  }
+  if (cap < 0.0) {
+    throw std::invalid_argument("GkSolver::set_edge_capacity: cap < 0");
+  }
+  cap_[static_cast<std::size_t>(2 * e)] = cap;
+  cap_[static_cast<std::size_t>(2 * e + 1)] = cap;
+}
+
+double GkSolver::edge_capacity(int e) const {
+  if (e < 0 || e >= g_->num_edges()) {
+    throw std::out_of_range("GkSolver::edge_capacity: bad edge id");
+  }
+  return cap_[static_cast<std::size_t>(2 * e)];
+}
+
+void GkSolver::reset_capacities() {
+  for (int a = 0; a < g_->num_arcs(); ++a) {
+    cap_[static_cast<std::size_t>(a)] = g_->arc_cap(a);
+  }
+}
+
+double GkSolver::bidirectional_path(int s, int t, double vol,
+                                    std::vector<std::pair<int, double>>&
+                                        arcs_out) {
+  const Graph& g = *g_;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  for (int side = 0; side < 2; ++side) {
+    bi_dist_[side].assign(n, kInf);
+    bi_par_[side].assign(n, -1);
+    bi_settled_[side].assign(n, 0);
+  }
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap[2];
+  bi_dist_[0][static_cast<std::size_t>(s)] = 0.0;
+  bi_dist_[1][static_cast<std::size_t>(t)] = 0.0;
+  heap[0].emplace(0.0, s);
+  heap[1].emplace(0.0, t);
+  double mu = kInf;  // best s->v->t value seen so far
+  int meet = -1;
+  while (!heap[0].empty() && !heap[1].empty()) {
+    // Lazy deletion: drop already-settled heap tops before reading minima.
+    for (int side = 0; side < 2; ++side) {
+      while (!heap[side].empty() &&
+             bi_settled_[side][static_cast<std::size_t>(
+                 heap[side].top().second)]) {
+        heap[side].pop();
+      }
+    }
+    if (heap[0].empty() || heap[1].empty()) break;
+    if (heap[0].top().first + heap[1].top().first >= mu) break;  // proven
+    const int side = heap[0].top().first <= heap[1].top().first ? 0 : 1;
+    const auto [d, u] = heap[side].top();
+    heap[side].pop();
+    if (bi_settled_[side][static_cast<std::size_t>(u)]) continue;
+    bi_settled_[side][static_cast<std::size_t>(u)] = 1;
+    for (const int a : g.out_arcs(u)) {
+      const int v = g.arc_to(a);
+      // Forward relaxes arc u->v; backward relaxes the arc v->u (each
+      // direction carries its own length).
+      const int path_arc = side == 0 ? a : Graph::reverse_arc(a);
+      const double nd = d + length_[static_cast<std::size_t>(path_arc)];
+      if (nd < bi_dist_[side][static_cast<std::size_t>(v)]) {
+        bi_dist_[side][static_cast<std::size_t>(v)] = nd;
+        bi_par_[side][static_cast<std::size_t>(v)] = path_arc;
+        heap[side].emplace(nd, v);
+      }
+      const double other = bi_dist_[side ^ 1][static_cast<std::size_t>(v)];
+      const double cand =
+          bi_dist_[side][static_cast<std::size_t>(v)] + other;
+      if (other < kInf && cand < mu) {
+        mu = cand;
+        meet = v;
+      }
+    }
+  }
+  if (meet < 0 || !(mu < kInf)) {
+    throw std::runtime_error(
+        "max_concurrent_flow: demand between disconnected nodes");
+  }
+  // Sink-to-source arc order (the TreeCache convention): the backward half
+  // t..meet reversed, then the forward half meet..s in walking order.
+  const std::size_t first = arcs_out.size();
+  for (int v = meet; v != t;) {
+    const int a = bi_par_[1][static_cast<std::size_t>(v)];  // arc v -> next
+    arcs_out.emplace_back(a, vol);
+    v = g.arc_to(a);
+  }
+  std::reverse(arcs_out.begin() + static_cast<std::ptrdiff_t>(first),
+               arcs_out.end());
+  for (int v = meet; v != s;) {
+    const int a = bi_par_[0][static_cast<std::size_t>(v)];  // arc prev -> v
+    arcs_out.emplace_back(a, vol);
+    v = g.arc_from(a);
+  }
+  return mu;
+}
+
+GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
+                         bool warm) {
+  const Graph& g = *g_;
   const int num_arcs = g.num_arcs();
   const auto n = static_cast<std::size_t>(g.num_nodes());
   if (tm.demands.empty()) {
     throw std::invalid_argument("max_concurrent_flow: empty traffic matrix");
   }
 
-  // Group demands by source.
-  std::vector<SourceGroup> groups;
+  const auto alive = [this](int a) {
+    return cap_[static_cast<std::size_t>(a)] > 0.0;
+  };
+  int num_alive = 0;
+  for (int a = 0; a < num_arcs; ++a) {
+    if (alive(a)) ++num_alive;
+  }
+  if (num_alive == 0) {
+    throw std::invalid_argument("max_concurrent_flow: no arcs with capacity");
+  }
+
+  // Group demands by source (reusing the session's group storage).
+  groups_.clear();
   {
     std::vector<int> group_of(n, -1);
     for (const Demand& d : tm.demands) {
       if (d.amount <= 0.0 || d.src == d.dst) continue;
       int& gi = group_of[static_cast<std::size_t>(d.src)];
       if (gi == -1) {
-        gi = static_cast<int>(groups.size());
-        groups.push_back({d.src, {}, 0.0});
+        gi = static_cast<int>(groups_.size());
+        groups_.push_back({d.src, {}, 0.0});
       }
-      groups[static_cast<std::size_t>(gi)].sinks.emplace_back(d.dst, d.amount);
-      groups[static_cast<std::size_t>(gi)].out_total += d.amount;
+      groups_[static_cast<std::size_t>(gi)].sinks.emplace_back(d.dst, d.amount);
+      groups_[static_cast<std::size_t>(gi)].out_total += d.amount;
     }
   }
-  if (groups.empty()) {
+  if (groups_.empty()) {
     throw std::invalid_argument("max_concurrent_flow: no routable demands");
   }
 
-  // Pre-scale so every source's per-phase volume fits the smallest capacity
-  // (one legal GK step per arc per source visit). Throughput scales back.
+  // Pre-scale so every source's per-phase volume fits the smallest live
+  // capacity (one legal GK step per arc per source visit). Throughput
+  // scales back.
   double min_cap = kInf;
-  for (int a = 0; a < num_arcs; ++a) min_cap = std::min(min_cap, g.arc_cap(a));
+  for (int a = 0; a < num_arcs; ++a) {
+    if (alive(a)) {
+      min_cap = std::min(min_cap, cap_[static_cast<std::size_t>(a)]);
+    }
+  }
   double max_out = 0.0;
-  for (const SourceGroup& grp : groups) max_out = std::max(max_out, grp.out_total);
+  for (const SourceGroup& grp : groups_) {
+    max_out = std::max(max_out, grp.out_total);
+  }
   const double demand_scale = max_out > min_cap ? min_cap / max_out : 1.0;
 
   const double eps = std::clamp(opts.epsilon, 1e-4, 0.3);
@@ -111,42 +233,183 @@ GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
   // the primal/dual gap explicitly, a more aggressive step only affects how
   // fast the certificate closes, not its validity.
   const double eps_step = eps / 2.0;
-  const double m = static_cast<double>(std::max(1, num_arcs));
+  const double m = static_cast<double>(std::max(1, num_alive));
   const double delta = std::pow(m / (1.0 - eps_step), -1.0 / eps_step);
   const double log_scale = std::log(1.0 / delta) / std::log1p(eps_step);
 
-  std::vector<double> length(static_cast<std::size_t>(num_arcs));
-  double sum_cl = 0.0;  // D(l) = sum_a c(a) * l(a)
-  for (int a = 0; a < num_arcs; ++a) {
-    length[static_cast<std::size_t>(a)] = delta / g.arc_cap(a);
-    sum_cl += delta;
+  // Arc lengths. Cold start: delta/c(a). Warm start: keep the *shape* of
+  // the previous solve's final lengths (they encode which arcs were the
+  // bottlenecks), renormalized so the total mass D(l) = sum c(a) l(a)
+  // equals the cold-start mass m*delta, then floored at the cold value so
+  // no arc starts cheaper than it would cold. Any positive length function
+  // is a valid start — the dual certificate holds for all of them — so
+  // this only changes convergence, never correctness. Arcs failed in the
+  // current capacities always get +inf (never routed); arcs that were
+  // failed before but are live again fall back to the cold value.
+  const bool warm_seeded = warm && has_warm_ &&
+                           length_.size() == static_cast<std::size_t>(num_arcs);
+  double sum_cl = 0.0;  // D(l) = sum_a c(a) * l(a) over live arcs
+  if (warm_seeded) {
+    double mass = 0.0;
+    for (int a = 0; a < num_arcs; ++a) {
+      if (!alive(a)) continue;
+      const double cap = cap_[static_cast<std::size_t>(a)];
+      double& len = length_[static_cast<std::size_t>(a)];
+      if (!std::isfinite(len) || len <= 0.0) len = delta / cap;
+      mass += cap * len;
+    }
+    const double rescale = m * delta / mass;
+    for (int a = 0; a < num_arcs; ++a) {
+      if (!alive(a)) {
+        length_[static_cast<std::size_t>(a)] = kInf;
+        continue;
+      }
+      const double cap = cap_[static_cast<std::size_t>(a)];
+      const double seeded = std::max(
+          length_[static_cast<std::size_t>(a)] * rescale, delta / cap);
+      length_[static_cast<std::size_t>(a)] = seeded;
+      sum_cl += cap * seeded;
+    }
+  } else {
+    length_.resize(static_cast<std::size_t>(num_arcs));
+    for (int a = 0; a < num_arcs; ++a) {
+      if (!alive(a)) {
+        length_[static_cast<std::size_t>(a)] = kInf;
+        continue;
+      }
+      length_[static_cast<std::size_t>(a)] =
+          delta / cap_[static_cast<std::size_t>(a)];
+      sum_cl += delta;
+    }
   }
 
-  std::vector<double> flow(static_cast<std::size_t>(num_arcs), 0.0);
+  flow_.assign(static_cast<std::size_t>(num_arcs), 0.0);
 
   // Windowed primal: MWU spends its first phases "mixing" toward the
   // optimal flow pattern; the average over a recent window converges much
   // faster than the average since phase 0. Snapshots double in the classic
   // way so total memory stays O(m).
-  std::vector<double> snap_flow(static_cast<std::size_t>(num_arcs), 0.0);
+  snap_flow_.assign(static_cast<std::size_t>(num_arcs), 0.0);
   long snap_phase = 0;
 
   // Per-block Dijkstra scratch (fixed block size => deterministic result).
   const int block = std::max(1, opts.block_size);
-  std::vector<std::vector<double>> dist_buf(static_cast<std::size_t>(block));
-  std::vector<std::vector<int>> parent_buf(static_cast<std::size_t>(block));
-  std::vector<std::vector<double>> tent_buf(static_cast<std::size_t>(block));
-  std::vector<std::vector<char>> target_buf(static_cast<std::size_t>(block));
+  dist_buf_.resize(static_cast<std::size_t>(block));
+  parent_buf_.resize(static_cast<std::size_t>(block));
+  tent_buf_.resize(static_cast<std::size_t>(block));
+  target_buf_.resize(static_cast<std::size_t>(block));
 
   // Routing scratch.
-  std::vector<double> node_vol(n, 0.0);
-  std::vector<int> order(n);
+  node_vol_.assign(n, 0.0);
+  order_.resize(n);
+
+  // Session dynamics (reuse_trees): per-group cached routed trees and the
+  // helpers that build, validate, and route along them. A cached tree's
+  // per-arc volumes are fixed (each phase routes the same demands), so
+  // routing a fresh-enough tree is a flat array walk with no Dijkstra.
+  tree_cache_.assign(opts.reuse_trees ? groups_.size() : 0, {});
+  cur_dist_.resize(opts.reuse_trees ? n : 0);
+  // A tree is reusable while its paths stay within (1 + eps) of their
+  // build-time shortest lengths: routing then loses at most ~eps of path
+  // optimality, which shows up only in how fast the certified gap closes.
+  const double stale_budget = 1.0 + eps;
+
+  const auto build_cache = [&](std::size_t gi, const std::vector<double>& dist,
+                               const std::vector<int>& parent) {
+    const SourceGroup& grp = groups_[gi];
+    TreeCache& cache = tree_cache_[gi];
+    cache.arcs.clear();
+    cache.build_dist.resize(grp.sinks.size());
+    for (std::size_t i = 0; i < grp.sinks.size(); ++i) {
+      const auto& [dst, demand] = grp.sinks[i];
+      (void)demand;
+      if (dist[static_cast<std::size_t>(dst)] >= kInf) {
+        throw std::runtime_error(
+            "max_concurrent_flow: demand between disconnected nodes");
+      }
+      cache.build_dist[i] = dist[static_cast<std::size_t>(dst)];
+    }
+    // Single-sink groups never reach here (rebuild_single handles them);
+    // push sink volumes up the tree in decreasing-distance order.
+    assert(grp.sinks.size() > 1);
+    for (const auto& [dst, demand] : grp.sinks) {
+      node_vol_[static_cast<std::size_t>(dst)] += demand * demand_scale;
+    }
+    for (std::size_t v = 0; v < n; ++v) order_[v] = static_cast<int>(v);
+    std::sort(order_.begin(), order_.end(), [&dist](int a, int b) {
+      return dist[static_cast<std::size_t>(a)] >
+             dist[static_cast<std::size_t>(b)];
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      const int v = order_[i];
+      if (v == grp.src) continue;
+      const double vol = node_vol_[static_cast<std::size_t>(v)];
+      if (vol <= 0.0) continue;
+      node_vol_[static_cast<std::size_t>(v)] = 0.0;
+      const int pa = parent[static_cast<std::size_t>(v)];
+      assert(pa >= 0);
+      node_vol_[static_cast<std::size_t>(g.arc_from(pa))] += vol;
+      cache.arcs.emplace_back(pa, vol);
+    }
+    node_vol_[static_cast<std::size_t>(grp.src)] = 0.0;
+    cache.valid = true;
+  };
+
+  // Tree-walk the cached arcs root-to-leaf (the build order reversed) to
+  // get every sink's current path length; the tree is fresh while no sink
+  // drifted past the staleness budget of its build-time shortest distance.
+  const auto tree_fresh = [&](std::size_t gi) {
+    const SourceGroup& grp = groups_[gi];
+    const TreeCache& cache = tree_cache_[gi];
+    cur_dist_[static_cast<std::size_t>(grp.src)] = 0.0;
+    for (auto it = cache.arcs.rbegin(); it != cache.arcs.rend(); ++it) {
+      const int a = it->first;
+      cur_dist_[static_cast<std::size_t>(g.arc_to(a))] =
+          cur_dist_[static_cast<std::size_t>(g.arc_from(a))] +
+          length_[static_cast<std::size_t>(a)];
+    }
+    for (std::size_t i = 0; i < grp.sinks.size(); ++i) {
+      if (cur_dist_[static_cast<std::size_t>(grp.sinks[i].first)] >
+          stale_budget * cache.build_dist[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Single-sink rebuild via bidirectional search (exact path + distance);
+  // returns the build-time distance it stored.
+  const auto rebuild_single = [&](std::size_t gi) {
+    const SourceGroup& grp = groups_[gi];
+    TreeCache& cache = tree_cache_[gi];
+    cache.arcs.clear();
+    cache.build_dist.resize(1);
+    cache.build_dist[0] =
+        bidirectional_path(grp.src, grp.sinks[0].first,
+                           grp.sinks[0].second * demand_scale, cache.arcs);
+    cache.valid = true;
+    return cache.build_dist[0];
+  };
+
+  const auto route_cached = [&](const TreeCache& cache, double& sum_cl_ref) {
+    for (const auto& [a, vol] : cache.arcs) {
+      flow_[static_cast<std::size_t>(a)] += vol;
+      const double cap = cap_[static_cast<std::size_t>(a)];
+      const double old_len = length_[static_cast<std::size_t>(a)];
+      const double new_len = old_len * (1.0 + eps_step * vol / cap);
+      length_[static_cast<std::size_t>(a)] = new_len;
+      sum_cl_ref += cap * (new_len - old_len);
+    }
+  };
 
   GkResult res;
   res.upper_bound = kInf;
+  res.warm_started = warm_seeded;
   ThreadPool& pool = ThreadPool::shared();
 
   long phase = 0;
+  long dijkstras = 0;
+  long next_sweep = 1;  // adaptive exact-sweep schedule (reuse mode)
   long best_window_phases = 0;
   double best_window_congestion = kInf;
   bool best_is_window = false;
@@ -155,83 +418,106 @@ GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
   bool stop = false;
   while (!stop && phase < opts.max_phases) {
     double alpha = 0.0;  // sum_j demand_j * dist_l(s_j, t_j) this phase
-    for (std::size_t g0 = 0; g0 < groups.size();
-         g0 += static_cast<std::size_t>(block)) {
-      const std::size_t g1 =
-          std::min(groups.size(), g0 + static_cast<std::size_t>(block));
-      // Dijkstras against frozen lengths (parallel when a pool exists).
-      const auto run = [&](std::size_t k) {
-        dijkstra_to_targets(g, groups[g0 + k].src, length, groups[g0 + k].sinks,
-                            dist_buf[k], parent_buf[k], tent_buf[k],
-                            target_buf[k]);
-      };
-      if (opts.parallel && pool.size() > 1 && g1 - g0 > 1) {
-        pool.parallel_for(0, g1 - g0, run);
-      } else {
-        for (std::size_t k = 0; k < g1 - g0; ++k) run(k);
-      }
-
-      // Sequential routing in source order.
-      for (std::size_t k = 0; k < g1 - g0; ++k) {
-        const SourceGroup& grp = groups[g0 + k];
-        const std::vector<double>& dist = dist_buf[k];
-        const std::vector<int>& parent = parent_buf[k];
-
-        // Deposit demand at sinks; gather alpha.
-        for (const auto& [dst, demand] : grp.sinks) {
-          const double d_scaled = demand * demand_scale;
-          if (dist[static_cast<std::size_t>(dst)] >= kInf) {
-            throw std::runtime_error(
-                "max_concurrent_flow: demand between disconnected nodes");
+    if (opts.reuse_trees) {
+      // Session dynamics: route every group along its cached tree,
+      // re-running Dijkstra only for stale or missing trees. No per-phase
+      // alpha — the dual bound comes solely from the exact sweeps below,
+      // which keeps the certificate rigorous under stale routing.
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        TreeCache& cache = tree_cache_[gi];
+        if (!cache.valid || !tree_fresh(gi)) {
+          if (groups_[gi].sinks.size() == 1) {
+            rebuild_single(gi);
+          } else {
+            dijkstra_to_targets(g, groups_[gi].src, length_, groups_[gi].sinks,
+                                dist_buf_[0], parent_buf_[0], tent_buf_[0],
+                                target_buf_[0]);
+            build_cache(gi, dist_buf_[0], parent_buf_[0]);
           }
-          alpha += d_scaled * dist[static_cast<std::size_t>(dst)];
-          node_vol[static_cast<std::size_t>(dst)] += d_scaled;
+          ++dijkstras;
         }
+        route_cached(cache, sum_cl);
+      }
+    } else {
+      for (std::size_t g0 = 0; g0 < groups_.size();
+           g0 += static_cast<std::size_t>(block)) {
+        const std::size_t g1 =
+            std::min(groups_.size(), g0 + static_cast<std::size_t>(block));
+        // Dijkstras against frozen lengths (parallel when a pool exists).
+        const auto run = [&](std::size_t k) {
+          dijkstra_to_targets(g, groups_[g0 + k].src, length_,
+                              groups_[g0 + k].sinks, dist_buf_[k],
+                              parent_buf_[k], tent_buf_[k], target_buf_[k]);
+        };
+        if (opts.parallel && pool.size() > 1 && g1 - g0 > 1) {
+          pool.parallel_for(0, g1 - g0, run);
+        } else {
+          for (std::size_t k = 0; k < g1 - g0; ++k) run(k);
+        }
+        dijkstras += static_cast<long>(g1 - g0);
 
-        // Single-sink fast path (matching TMs): walk the parent chain.
-        if (grp.sinks.size() == 1) {
-          const int dst = grp.sinks[0].first;
-          const double vol = node_vol[static_cast<std::size_t>(dst)];
-          node_vol[static_cast<std::size_t>(dst)] = 0.0;
-          for (int v = dst; v != grp.src;) {
+        // Sequential routing in source order.
+        for (std::size_t k = 0; k < g1 - g0; ++k) {
+          const SourceGroup& grp = groups_[g0 + k];
+          const std::vector<double>& dist = dist_buf_[k];
+          const std::vector<int>& parent = parent_buf_[k];
+
+          // Deposit demand at sinks; gather alpha.
+          for (const auto& [dst, demand] : grp.sinks) {
+            const double d_scaled = demand * demand_scale;
+            if (dist[static_cast<std::size_t>(dst)] >= kInf) {
+              throw std::runtime_error(
+                  "max_concurrent_flow: demand between disconnected nodes");
+            }
+            alpha += d_scaled * dist[static_cast<std::size_t>(dst)];
+            node_vol_[static_cast<std::size_t>(dst)] += d_scaled;
+          }
+
+          // Single-sink fast path (matching TMs): walk the parent chain.
+          if (grp.sinks.size() == 1) {
+            const int dst = grp.sinks[0].first;
+            const double vol = node_vol_[static_cast<std::size_t>(dst)];
+            node_vol_[static_cast<std::size_t>(dst)] = 0.0;
+            for (int v = dst; v != grp.src;) {
+              const int pa = parent[static_cast<std::size_t>(v)];
+              assert(pa >= 0);
+              flow_[static_cast<std::size_t>(pa)] += vol;
+              const double cap = cap_[static_cast<std::size_t>(pa)];
+              const double old_len = length_[static_cast<std::size_t>(pa)];
+              const double new_len = old_len * (1.0 + eps_step * vol / cap);
+              length_[static_cast<std::size_t>(pa)] = new_len;
+              sum_cl += cap * (new_len - old_len);
+              v = g.arc_from(pa);
+            }
+            continue;
+          }
+
+          // Push volumes up the shortest-path tree in decreasing-distance
+          // order (unsettled nodes keep dist=inf and zero volume).
+          for (std::size_t v = 0; v < n; ++v) order_[v] = static_cast<int>(v);
+          std::sort(order_.begin(), order_.end(), [&dist](int a, int b) {
+            return dist[static_cast<std::size_t>(a)] >
+                   dist[static_cast<std::size_t>(b)];
+          });
+          for (std::size_t i = 0; i < n; ++i) {
+            const int v = order_[i];
+            if (v == grp.src) continue;
+            const double vol = node_vol_[static_cast<std::size_t>(v)];
+            if (vol <= 0.0) continue;
+            node_vol_[static_cast<std::size_t>(v)] = 0.0;
             const int pa = parent[static_cast<std::size_t>(v)];
             assert(pa >= 0);
-            flow[static_cast<std::size_t>(pa)] += vol;
-            const double cap = g.arc_cap(pa);
-            const double old_len = length[static_cast<std::size_t>(pa)];
+            const int u = g.arc_from(pa);
+            node_vol_[static_cast<std::size_t>(u)] += vol;
+            flow_[static_cast<std::size_t>(pa)] += vol;
+            const double cap = cap_[static_cast<std::size_t>(pa)];
+            const double old_len = length_[static_cast<std::size_t>(pa)];
             const double new_len = old_len * (1.0 + eps_step * vol / cap);
-            length[static_cast<std::size_t>(pa)] = new_len;
+            length_[static_cast<std::size_t>(pa)] = new_len;
             sum_cl += cap * (new_len - old_len);
-            v = g.arc_from(pa);
           }
-          continue;
+          node_vol_[static_cast<std::size_t>(grp.src)] = 0.0;
         }
-
-        // Push volumes up the shortest-path tree in decreasing-distance
-        // order (unsettled nodes keep dist=inf and zero volume).
-        for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<int>(v);
-        std::sort(order.begin(), order.end(), [&dist](int a, int b) {
-          return dist[static_cast<std::size_t>(a)] >
-                 dist[static_cast<std::size_t>(b)];
-        });
-        for (std::size_t i = 0; i < n; ++i) {
-          const int v = order[i];
-          if (v == grp.src) continue;
-          const double vol = node_vol[static_cast<std::size_t>(v)];
-          if (vol <= 0.0) continue;
-          node_vol[static_cast<std::size_t>(v)] = 0.0;
-          const int pa = parent[static_cast<std::size_t>(v)];
-          assert(pa >= 0);
-          const int u = g.arc_from(pa);
-          node_vol[static_cast<std::size_t>(u)] += vol;
-          flow[static_cast<std::size_t>(pa)] += vol;
-          const double cap = g.arc_cap(pa);
-          const double old_len = length[static_cast<std::size_t>(pa)];
-          const double new_len = old_len * (1.0 + eps_step * vol / cap);
-          length[static_cast<std::size_t>(pa)] = new_len;
-          sum_cl += cap * (new_len - old_len);
-        }
-        node_vol[static_cast<std::size_t>(grp.src)] = 0.0;
       }
     }
 
@@ -244,15 +530,38 @@ GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
     if (alpha > 0.0) {
       res.upper_bound = std::min(res.upper_bound, sum_cl / alpha);
     }
-    if (phase % 5 == 0 || phase <= 3) {
+    // Exact-sweep cadence: every 5 phases classically; in reuse mode the
+    // schedule backs off on long solves (the dual bound tightens early —
+    // later sweeps mostly serve the stop check and the free tree refresh).
+    const bool sweep_now =
+        opts.reuse_trees
+            ? (phase <= 3 || phase >= next_sweep)
+            : (phase % 5 == 0 || phase <= 3);
+    if (sweep_now && opts.reuse_trees) {
+      next_sweep = phase + (phase < 250 ? 5 : phase < 1000 ? 10 : 20);
+    }
+    if (sweep_now) {
       double alpha_exact = 0.0;
-      for (const SourceGroup& grp : groups) {
-        dijkstra_to_targets(g, grp.src, length, grp.sinks, dist_buf[0],
-                            parent_buf[0], tent_buf[0], target_buf[0]);
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        const SourceGroup& grp = groups_[gi];
+        if (opts.reuse_trees && grp.sinks.size() == 1) {
+          // Bidirectional exact distance doubles as the alpha term and a
+          // free cache refresh.
+          alpha_exact +=
+              grp.sinks[0].second * demand_scale * rebuild_single(gi);
+          ++dijkstras;
+          continue;
+        }
+        dijkstra_to_targets(g, grp.src, length_, grp.sinks, dist_buf_[0],
+                            parent_buf_[0], tent_buf_[0], target_buf_[0]);
+        ++dijkstras;
         for (const auto& [dst, demand] : grp.sinks) {
           alpha_exact += demand * demand_scale *
-                         dist_buf[0][static_cast<std::size_t>(dst)];
+                         dist_buf_[0][static_cast<std::size_t>(dst)];
         }
+        // The sweep's trees are exactly shortest under the end-of-phase
+        // lengths — refresh the session caches for free.
+        if (opts.reuse_trees) build_cache(gi, dist_buf_[0], parent_buf_[0]);
       }
       if (alpha_exact > 0.0) {
         res.upper_bound = std::min(res.upper_bound, sum_cl / alpha_exact);
@@ -263,11 +572,13 @@ GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
     double cong_total = 0.0;
     double cong_window = 0.0;
     for (int a = 0; a < num_arcs; ++a) {
-      const double cap = g.arc_cap(a);
-      cong_total = std::max(cong_total, flow[static_cast<std::size_t>(a)] / cap);
+      if (!alive(a)) continue;
+      const double cap = cap_[static_cast<std::size_t>(a)];
+      cong_total =
+          std::max(cong_total, flow_[static_cast<std::size_t>(a)] / cap);
       cong_window = std::max(cong_window,
-                             (flow[static_cast<std::size_t>(a)] -
-                              snap_flow[static_cast<std::size_t>(a)]) /
+                             (flow_[static_cast<std::size_t>(a)] -
+                              snap_flow_[static_cast<std::size_t>(a)]) /
                                  cap);
     }
     double primal = 0.0;
@@ -320,11 +631,12 @@ GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
       // Callers see the true residual gap in upper_bound.
       stop = true;
     } else if (phase - snap_phase >= std::max<long>(16, snap_phase)) {
-      snap_flow = flow;
+      snap_flow_ = flow_;
       snap_phase = phase;
     }
   }
   res.phases = phase;
+  res.dijkstras = dijkstras;
 
   if (res.throughput <= 0.0 || !std::isfinite(res.throughput)) {
     res.throughput = static_cast<double>(phase) / log_scale;
@@ -340,18 +652,25 @@ GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
     (void)best_window_phases;
     for (int a = 0; a < num_arcs; ++a) {
       res.arc_flow[static_cast<std::size_t>(a)] =
-          (flow[static_cast<std::size_t>(a)] -
-           snap_flow[static_cast<std::size_t>(a)]) /
+          (flow_[static_cast<std::size_t>(a)] -
+           snap_flow_[static_cast<std::size_t>(a)]) /
           best_window_congestion;
     }
   } else {
     const double fs = res.max_congestion > 0.0 ? 1.0 / res.max_congestion : 0.0;
     for (int a = 0; a < num_arcs; ++a) {
       res.arc_flow[static_cast<std::size_t>(a)] =
-          flow[static_cast<std::size_t>(a)] * fs;
+          flow_[static_cast<std::size_t>(a)] * fs;
     }
   }
+  has_warm_ = true;  // length_ now holds this solve's final lengths
   return res;
+}
+
+GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
+                             const GkOptions& opts) {
+  GkSolver solver(g);
+  return solver.solve(tm, opts);
 }
 
 }  // namespace tb::mcf

@@ -23,9 +23,23 @@
 // are deterministic and independent of the actual thread count (the block
 // size is a constant, not the pool size); block staleness only perturbs
 // path choice, never the primal/dual certificates.
+//
+// GkSolver is the session form used by mcf::ThroughputEngine: it binds to
+// one graph, owns working per-arc capacities (the scenario layer degrades
+// or zeroes them — a zero capacity marks a failed arc, which simply gets an
+// infinite length and so is never routed), keeps every per-solve buffer
+// alive between solves, and can warm-start a solve by seeding the arc
+// lengths with the (mass-renormalized) final lengths of the previous solve.
+// Warm starts never weaken correctness: the dual bound D(l)/alpha(l) is
+// valid for ANY positive length function and the primal value is a
+// certified feasible flow of the current solve only — warm seeding merely
+// changes how fast the certificate closes (and therefore which certified
+// point is reported; warm and cold results agree within their certified
+// gaps, not bitwise).
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -41,17 +55,107 @@ struct GkOptions {
   /// Stop once the certified gap stops improving (the result still carries
   /// the true residual gap in upper_bound). Disable for strict-epsilon runs.
   bool plateau_guard = true;
+  /// Session dynamics (Fleischer-style shortest-path reuse), the engine's
+  /// warm mode: each source keeps its routed shortest-path tree across
+  /// phases and re-runs Dijkstra only when the tree's path lengths have
+  /// grown past a (1 + eps/2) staleness budget or at the periodic
+  /// exact-distance sweeps — which refresh every tree for free. The dual
+  /// bound then comes solely from the exact sweeps (per-phase stale alphas
+  /// are skipped), so the primal/dual certificate stays rigorous; routing
+  /// along slightly stale trees only affects how fast it closes. Far fewer
+  /// Dijkstras per phase; results differ from the classic dynamics within
+  /// the certified gap.
+  bool reuse_trees = false;
 };
 
 struct GkResult {
   double throughput = 0.0;     ///< certified feasible concurrent flow value
   double upper_bound = 0.0;    ///< certified dual upper bound on OPT
   long phases = 0;
+  long dijkstras = 0;          ///< shortest-path-tree computations performed
+  bool warm_started = false;   ///< lengths were seeded from a prior solve
   double max_congestion = 0.0; ///< of the raw accumulated flow
   std::vector<double> arc_flow;///< scaled feasible flow per arc
 };
 
-/// Demands must connect nodes of a connected `g`; amounts > 0.
+/// Reusable GK session bound to one (finalized) graph, which must outlive
+/// the solver. Not thread-safe: one solver per thread of control.
+class GkSolver {
+ public:
+  explicit GkSolver(const Graph& g);
+
+  /// Working capacity of edge `e` (both its arcs). 0 marks the edge failed;
+  /// negative capacities are rejected.
+  void set_edge_capacity(int e, double cap);
+  double edge_capacity(int e) const;
+  /// Restore every working capacity to the bound graph's own.
+  void reset_capacities();
+  /// Working per-arc capacities (index = arc id; 0 = failed).
+  const std::vector<double>& arc_capacities() const noexcept { return cap_; }
+
+  /// Approximate max concurrent flow of `tm` under the working capacities.
+  /// `warm` seeds arc lengths from the previous solve on this solver (no-op
+  /// on the first solve). Demands between nodes disconnected under the
+  /// working capacities throw std::runtime_error — callers with failure
+  /// scenarios should pre-check (ThroughputEngine does).
+  GkResult solve(const TrafficMatrix& tm, const GkOptions& opts = {},
+                 bool warm = false);
+
+  /// True once a solve has completed (warm seeding has a state to use).
+  bool has_warm_state() const noexcept { return has_warm_; }
+
+ private:
+  struct SourceGroup {
+    int src = 0;
+    std::vector<std::pair<int, double>> sinks;  // (dst, demand)
+    double out_total = 0.0;
+  };
+
+  /// Cached routed tree of one source group (reuse_trees mode): the
+  /// per-arc phase volumes in leaf-to-root order (fixed while the tree is
+  /// reused — each phase routes the same demands) and the sinks' shortest
+  /// distances at build time (the staleness reference).
+  struct TreeCache {
+    bool valid = false;
+    std::vector<std::pair<int, double>> arcs;  // (arc id, phase volume)
+    std::vector<double> build_dist;            // aligned with group sinks
+  };
+
+  const Graph* g_;
+  std::vector<double> cap_;  ///< working per-arc capacities
+
+  // Reusable per-solve state. `length_` doubles as the warm-start seed:
+  // after a solve it holds the final length function.
+  std::vector<double> length_;
+  std::vector<double> flow_;
+  std::vector<double> snap_flow_;
+  std::vector<double> node_vol_;
+  std::vector<int> order_;
+  std::vector<SourceGroup> groups_;
+  std::vector<std::vector<double>> dist_buf_;
+  std::vector<std::vector<int>> parent_buf_;
+  std::vector<std::vector<double>> tent_buf_;
+  std::vector<std::vector<char>> target_buf_;
+  std::vector<TreeCache> tree_cache_;  // reuse_trees mode, one per group
+  std::vector<double> cur_dist_;       // tree-walk scratch
+
+  /// Exact shortest s->t path under the current lengths via bidirectional
+  /// Dijkstra (reuse_trees mode, single-sink groups): meet-in-the-middle
+  /// explores two small balls instead of one big one — a large constant
+  /// factor on expander-like topologies. Appends the path's (arc, vol)
+  /// pairs to `arcs_out` in sink-to-source order (the TreeCache
+  /// convention) and returns the exact distance; throws when t is
+  /// unreachable.
+  double bidirectional_path(int s, int t, double vol,
+                            std::vector<std::pair<int, double>>& arcs_out);
+  std::vector<double> bi_dist_[2];   // tentative labels, fwd/bwd
+  std::vector<int> bi_par_[2];       // path arcs (forward orientation)
+  std::vector<char> bi_settled_[2];
+  bool has_warm_ = false;
+};
+
+/// Demands must connect nodes of a connected `g`; amounts > 0. One-shot
+/// form: equivalent to GkSolver(g).solve(tm, opts).
 GkResult max_concurrent_flow(const Graph& g, const TrafficMatrix& tm,
                              const GkOptions& opts = {});
 

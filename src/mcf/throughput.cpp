@@ -1,23 +1,28 @@
 #include "mcf/throughput.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <stdexcept>
 #include <vector>
 
-#include "util/timer.h"
-
 #include "graph/algorithms.h"
 #include "lp/simplex.h"
-#include "mcf/garg_konemann.h"
+#include "mcf/engine.h"
 
 namespace tb::mcf {
 
 ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm) {
+  return throughput_exact_lp(g, tm, ExactLpSession{});
+}
+
+ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm,
+                                     const ExactLpSession& session) {
   if (!g.finalized()) throw std::logic_error("throughput_exact_lp: graph not finalized");
   const int n = g.num_nodes();
   const int num_arcs = g.num_arcs();
+  if (session.arc_caps != nullptr &&
+      session.arc_caps->size() != static_cast<std::size_t>(num_arcs)) {
+    throw std::invalid_argument("throughput_exact_lp: arc_caps size mismatch");
+  }
 
   // Aggregate demands by source: D[s][v] = demand s -> v.
   std::map<int, std::map<int, double>> by_source;
@@ -39,11 +44,14 @@ ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm) {
     for (int a = 0; a < num_arcs; ++a) prob.add_var(0.0);
   }
 
-  // Capacity rows: sum_s f[s][a] <= c(a).
+  // Capacity rows: sum_s f[s][a] <= c(a) (the session's working capacity
+  // when one is active — a failed arc's row pins its flow to 0).
   for (int a = 0; a < num_arcs; ++a) {
     lp::Row row;
     row.sense = lp::Sense::LE;
-    row.rhs = g.arc_cap(a);
+    row.rhs = session.arc_caps != nullptr
+                  ? (*session.arc_caps)[static_cast<std::size_t>(a)]
+                  : g.arc_cap(a);
     for (const auto& [s, base] : base_of_source) {
       (void)s;
       row.terms.emplace_back(base + a, 1.0);
@@ -73,16 +81,22 @@ ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm) {
     }
   }
 
-  const lp::Result sol = lp::solve(prob);
+  lp::Options lopts;
+  lopts.warm_basis = session.warm_basis;
+  const lp::Result sol = lp::solve(prob, lopts);
   if (sol.status != lp::Status::Optimal) {
     throw std::runtime_error(std::string("throughput_exact_lp: LP status ") +
                              lp::status_name(sol.status));
+  }
+  if (session.basis_out != nullptr) *session.basis_out = sol.basis;
+  if (session.warm_started_out != nullptr) {
+    *session.warm_started_out = sol.warm_started;
   }
   ThroughputResult res;
   res.throughput = sol.x[static_cast<std::size_t>(t_var)];
   res.upper_bound = res.throughput;
   res.solver = "exact-lp";
-  res.iterations = sol.iterations;
+  res.stats.pivots = sol.iterations;
   return res;
 }
 
@@ -106,51 +120,11 @@ double volumetric_upper_bound(const Graph& g, const TrafficMatrix& tm) {
 
 ThroughputResult compute_throughput(const Network& net, const TrafficMatrix& tm,
                                     const SolveOptions& opts) {
-  validate_tm(tm, net, /*check_hose=*/false);
-  // The dense simplex degrades steeply with LP size (sources x arcs flow
-  // variables); Auto only picks it when the instance is genuinely small.
-  long num_sources = 0;
-  {
-    std::vector<char> seen(static_cast<std::size_t>(net.graph.num_nodes()), 0);
-    for (const Demand& d : tm.demands) {
-      if (!seen[static_cast<std::size_t>(d.src)]) {
-        seen[static_cast<std::size_t>(d.src)] = 1;
-        ++num_sources;
-      }
-    }
-  }
-  const bool use_exact =
-      opts.kind == SolverKind::ExactLP ||
-      (opts.kind == SolverKind::Auto &&
-       net.graph.num_nodes() <= opts.exact_max_switches &&
-       lp_size_within(num_sources, net.graph.num_arcs(),
-                      opts.exact_max_lp_size));
-  if (use_exact) {
-    return throughput_exact_lp(net.graph, tm);
-  }
-  GkOptions gk;
-  gk.epsilon = opts.epsilon;
-  gk.parallel = opts.parallel;
-  const Timer timer;
-  const GkResult r = max_concurrent_flow(net.graph, tm, gk);
-  static const bool debug = [] {
-    const char* s = std::getenv("TOPOBENCH_DEBUG");
-    return s != nullptr && s[0] == '1';
-  }();
-  if (debug) {
-    std::fprintf(stderr,
-                 "[gk] %-28s tm=%-12s flows=%-6zu phases=%-7ld gap=%.3f "
-                 "t=%.4f %.2fs\n",
-                 net.name.c_str(), tm.name.c_str(), tm.num_flows(), r.phases,
-                 r.throughput > 0 ? r.upper_bound / r.throughput - 1.0 : -1.0,
-                 r.throughput, timer.seconds());
-  }
-  ThroughputResult res;
-  res.throughput = r.throughput;
-  res.upper_bound = r.upper_bound;
-  res.solver = "garg-konemann";
-  res.iterations = r.phases;
-  return res;
+  // One-shot session: all preprocessing (dispatch, commodity grouping,
+  // solver buffers) lives in the engine; sweeps over a fixed topology
+  // should construct their own ThroughputEngine and reuse it.
+  ThroughputEngine engine(net);
+  return engine.solve(tm, opts);
 }
 
 }  // namespace tb::mcf

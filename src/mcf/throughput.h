@@ -13,6 +13,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "tm/traffic_matrix.h"
 #include "topo/network.h"
@@ -29,11 +30,22 @@ struct SolveOptions {
   bool parallel = true;
 };
 
+/// Per-solver work counters. The two engines do fundamentally different
+/// work — simplex pivots and GK phases are not comparable — so each gets
+/// its own field instead of one overloaded "iterations" number; fields of
+/// the engine that did not run stay 0.
+struct SolverStats {
+  long pivots = 0;      ///< revised-simplex pivots (ExactLP)
+  long phases = 0;      ///< GK multiplicative-weights phases
+  long dijkstras = 0;   ///< GK shortest-path-tree computations
+  bool warm_start = false;  ///< solve was seeded from a previous solution
+};
+
 struct ThroughputResult {
   double throughput = 0.0;   ///< certified achievable concurrent-flow value
   double upper_bound = 0.0;  ///< certified upper bound (== throughput if exact)
-  std::string solver;        ///< "exact-lp" or "garg-konemann"
-  long iterations = 0;       ///< simplex pivots or GK phases
+  std::string solver;        ///< "exact-lp", "garg-konemann", "disconnected"
+  SolverStats stats;         ///< work counters of the engine that ran
 };
 
 /// Auto-dispatch guard: does an LP with `num_sources` x `num_arcs` flow
@@ -47,12 +59,34 @@ inline bool lp_size_within(long num_sources, int num_arcs,
          static_cast<long long>(max_lp_size);
 }
 
-/// Compute throughput of `tm` on the switch graph of `net`.
+/// Compute throughput of `tm` on the switch graph of `net`. One-shot form:
+/// constructs a ThroughputEngine (see mcf/engine.h) for the single solve;
+/// sweeps over a fixed topology should hold their own engine instead.
 ThroughputResult compute_throughput(const Network& net, const TrafficMatrix& tm,
                                     const SolveOptions& opts = {});
 
+/// Session hooks for the exact LP, used by ThroughputEngine: degraded
+/// per-arc capacities (scenario layer) and simplex basis reuse between
+/// nearby solves. All pointers are optional and may be null.
+struct ExactLpSession {
+  /// Working per-arc capacities overriding the graph's own (index = arc
+  /// id; 0 forces the arc unused). Size must be num_arcs when set.
+  const std::vector<double>* arc_caps = nullptr;
+  /// Candidate starting basis from a previous same-shaped solve; tried
+  /// opportunistically (see lp::Options::warm_basis).
+  const std::vector<int>* warm_basis = nullptr;
+  /// When set, receives the optimal basis for reuse by the next solve.
+  std::vector<int>* basis_out = nullptr;
+  /// When set, receives whether the solve actually started warm.
+  bool* warm_started_out = nullptr;
+};
+
 /// Exact LP on a bare graph (used by tests and the theory benches).
 ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm);
+
+/// Exact LP with engine session hooks (capacity override + basis reuse).
+ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm,
+                                     const ExactLpSession& session);
 
 /// Volumetric upper bound from §II-B: total capacity divided by total
 /// demand-weighted shortest-path length. Any feasible throughput is <= this.

@@ -158,6 +158,13 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   b.cut_bound = 5.0 / 7.0;
   b.cut_gap = (5.0 / 7.0) / (1.0 / 3.0);
   b.cut_method = "st-mincut(exact)";
+  b.scenario = "fail(f=0.1)";
+  b.failed_links = 4;
+  b.throughput_drop = 2.0 / 7.0;
+  b.pivots = 123;
+  b.phases = 456;
+  b.dijkstras = 789;
+  b.warm = 1;
   rs.add(b);
 
   const std::string csv = rs.to_csv();
@@ -174,6 +181,11 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   EXPECT_TRUE(std::isnan(ra.random_mean));
   EXPECT_TRUE(std::isnan(ra.cut_bound));
   EXPECT_TRUE(ra.cut_method.empty());
+  // The absolute cell keeps the failure/stat sentinels and defaults.
+  EXPECT_TRUE(ra.scenario.empty());
+  EXPECT_EQ(ra.failed_links, -1);  // "na" in CSV: 0 is a real count
+  EXPECT_TRUE(std::isnan(ra.throughput_drop));
+  EXPECT_EQ(ra.warm, 0);
   const exp::CellResult& rb = back.rows()[1];
   EXPECT_EQ(rb.topology, b.topology);
   EXPECT_DOUBLE_EQ(rb.relative, b.relative);
@@ -181,6 +193,13 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   EXPECT_DOUBLE_EQ(rb.cut_bound, b.cut_bound);
   EXPECT_DOUBLE_EQ(rb.cut_gap, b.cut_gap);
   EXPECT_EQ(rb.cut_method, b.cut_method);
+  EXPECT_EQ(rb.scenario, b.scenario);
+  EXPECT_EQ(rb.failed_links, b.failed_links);
+  EXPECT_DOUBLE_EQ(rb.throughput_drop, b.throughput_drop);
+  EXPECT_EQ(rb.pivots, b.pivots);
+  EXPECT_EQ(rb.phases, b.phases);
+  EXPECT_EQ(rb.dijkstras, b.dijkstras);
+  EXPECT_EQ(rb.warm, b.warm);
   // Re-serializing is byte-stable (the determinism the CTest diff relies on).
   EXPECT_EQ(back.to_csv(), csv);
 }
@@ -260,6 +279,124 @@ TEST(Runner, CutBoundColumnsFilledWhenEnabled) {
   EXPECT_TRUE(rs_off.rows()[0].cut_method.empty());
   EXPECT_EQ(runner.cache_stats().hits, 0u);
   EXPECT_EQ(runner.cache_stats().misses, 4u);
+}
+
+TEST(Sweep, ExpansionGainsScenarioAxisInFailuresMode) {
+  exp::Sweep s;
+  s.topologies = {exp::representative_spec(Family::Hypercube, 16, 1),
+                  exp::representative_spec(Family::FatTree, 16, 1)};
+  s.tms = {exp::a2a_tm(), exp::longest_matching_tm()};
+  s.scenarios = exp::random_failure_scenarios({0.1, 0.2});
+  s.scenarios.push_back(exp::degrade_scenario(0.5));
+  const std::vector<exp::Cell> cells = exp::expand(s);
+  ASSERT_EQ(cells.size(), 12u);  // 2 topos x 2 tms x 3 scenarios
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].topo, i / 6);
+    EXPECT_EQ(cells[i].tm, (i / 3) % 2);
+    EXPECT_EQ(cells[i].scenario, i % 3);
+  }
+  EXPECT_EQ(s.scenarios[0].label, "fail(f=0.1)");
+  EXPECT_EQ(s.scenarios[2].label, "degrade(c=0.5)");
+}
+
+TEST(Runner, FailureCellsFillScenarioColumnsDeterministically) {
+  exp::Sweep sweep = tiny_sweep(/*trials=*/0);
+  sweep.scenarios = exp::random_failure_scenarios({0.15});
+  sweep.scenarios.push_back(exp::degrade_scenario(0.5));
+  exp::Runner serial(/*parallel=*/false);
+  const exp::ResultSet rs = serial.run(sweep);
+  ASSERT_EQ(rs.size(), 4u);  // 1 topo x 2 tms x 2 scenarios
+  for (const exp::CellResult& r : rs.rows()) {
+    EXPECT_FALSE(r.scenario.empty());
+    EXPECT_GE(r.failed_links, 0);
+    EXPECT_FALSE(std::isnan(r.throughput_drop)) << r.scenario;
+    if (r.scenario == "degrade(c=0.5)") {
+      EXPECT_EQ(r.failed_links, 0);
+      // Halving every capacity exactly halves the (here exact) optimum.
+      EXPECT_NEAR(r.throughput_drop, 0.5, 1e-6) << r.tm;
+    } else {
+      EXPECT_GT(r.failed_links, 0);  // 15% of a hypercube's edges
+      EXPECT_GE(r.throughput_drop, -1e-9);
+    }
+  }
+  // The in-process contract: parallel cell distribution must not change a
+  // single byte of the emitted CSV (failure sampling is per-cell seeded).
+  if (ThreadPool::shared().size() > 1) {
+    exp::Runner parallel(/*parallel=*/true);
+    EXPECT_EQ(parallel.run(sweep).to_csv(), rs.to_csv());
+  }
+}
+
+TEST(Runner, WarmChainsAreDeterministicAndFlagged) {
+  exp::Sweep sweep = tiny_sweep(/*trials=*/0);
+  sweep.solve.kind = mcf::SolverKind::GargKonemann;  // exercise GK sessions
+  sweep.warm_start = true;
+  exp::Runner serial(/*parallel=*/false);
+  const exp::ResultSet rs = serial.run(sweep);
+  ASSERT_EQ(rs.size(), 2u);
+  for (const exp::CellResult& r : rs.rows()) {
+    EXPECT_EQ(r.warm, 1);  // whole chain runs in session mode
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_GT(r.phases, 0);
+  }
+  if (ThreadPool::shared().size() > 1) {
+    exp::Runner parallel(/*parallel=*/true);
+    EXPECT_EQ(parallel.run(sweep).to_csv(), rs.to_csv());
+  }
+  // Warm results are cached under a distinct fingerprint: a cold re-run of
+  // the same grid must not be answered from warm entries (or vice versa).
+  exp::Sweep cold = sweep;
+  cold.warm_start = false;
+  exp::Runner runner;
+  (void)runner.run(sweep);
+  (void)runner.run(cold);
+  EXPECT_EQ(runner.cache_stats().misses, 4u);
+  // A warm re-run hits only when the whole chain is cached.
+  (void)runner.run(sweep);
+  EXPECT_EQ(runner.cache_stats().hits, 2u);
+}
+
+TEST(Runner, WarmCacheKeysIncludeChainIdentity) {
+  // A warm cell's value depends on its chain prefix: two warm sweeps that
+  // share a (topology, TM, index) cell but differ in the preceding TM must
+  // not collide on one cache entry — an exact re-run of either sweep has
+  // to reproduce that sweep's own bytes.
+  exp::Sweep a = tiny_sweep(/*trials=*/0);  // {A2A, LM}
+  a.solve.kind = mcf::SolverKind::GargKonemann;
+  a.warm_start = true;
+  exp::Sweep b = a;
+  b.tms = {exp::random_matching_tm(1), exp::longest_matching_tm()};
+  exp::Runner runner;
+  (void)runner.run(a);
+  const std::string b_first = runner.run(b).to_csv();
+  EXPECT_EQ(runner.cache_stats().hits, 0u);  // no cross-chain answers
+  EXPECT_EQ(runner.cache_stats().misses, 4u);
+  EXPECT_EQ(runner.run(b).to_csv(), b_first);  // exact re-run, b's own bytes
+  EXPECT_EQ(runner.cache_stats().hits, 2u);
+}
+
+TEST(Runner, ModeValidationRejectsUnsupportedCombinations) {
+  exp::Runner runner;
+  exp::Sweep failures = tiny_sweep(/*trials=*/2);
+  failures.scenarios = exp::random_failure_scenarios({0.1});
+  EXPECT_THROW(runner.run(failures), std::invalid_argument);  // trials > 0
+  failures.trials = 0;
+  failures.cut_bounds = true;
+  EXPECT_THROW(runner.run(failures), std::invalid_argument);
+  failures.cut_bounds = false;
+  failures.warm_start = true;
+  EXPECT_THROW(runner.run(failures), std::invalid_argument);
+  failures.warm_start = false;
+  failures.scenarios[0].label.clear();
+  EXPECT_THROW(runner.run(failures), std::invalid_argument);  // empty label
+
+  exp::Sweep warm = tiny_sweep(/*trials=*/2);
+  warm.warm_start = true;
+  EXPECT_THROW(runner.run(warm), std::invalid_argument);  // relative + warm
+  warm.trials = 0;
+  warm.cut_bounds = true;
+  EXPECT_THROW(runner.run(warm), std::invalid_argument);
 }
 
 TEST(Rng, ThreeWayMixMatchesNestedTwoWayMix) {

@@ -112,6 +112,47 @@ TEST(Simplex, DualsMatchKnownValues) {
               1e-6);
 }
 
+TEST(Simplex, WarmBasisResolvesWithoutPivots) {
+  // Re-solving the same LP from its optimal basis must take zero pivots;
+  // a perturbed-rhs re-solve stays optimal (warm or cold fallback alike).
+  Problem p;
+  p.maximize = true;
+  const int x = p.add_var(3.0);
+  const int y = p.add_var(5.0);
+  p.add_row({{{x, 1.0}}, Sense::LE, 4.0});
+  p.add_row({{{y, 2.0}}, Sense::LE, 12.0});
+  p.add_row({{{x, 3.0}, {y, 2.0}}, Sense::LE, 18.0});
+  const Result cold = solve(p);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  ASSERT_EQ(cold.basis.size(), 3u);
+  EXPECT_FALSE(cold.warm_started);
+
+  Options warm;
+  warm.warm_basis = &cold.basis;
+  const Result rerun = solve(p, warm);
+  ASSERT_EQ(rerun.status, Status::Optimal);
+  EXPECT_TRUE(rerun.warm_started);
+  EXPECT_EQ(rerun.iterations, 0);
+  EXPECT_NEAR(rerun.objective, cold.objective, 1e-9);
+
+  // Shrink a rhs: same basis stays feasible here, so the warm start holds
+  // and the optimum tracks the new rhs.
+  p.rows[1].rhs = 10.0;  // 2y <= 10 -> y = 5, x = 8/3 -> 33
+  const Result shifted = solve(p, warm);
+  ASSERT_EQ(shifted.status, Status::Optimal);
+  EXPECT_TRUE(shifted.warm_started);
+  EXPECT_NEAR(shifted.objective, 33.0, 1e-8);
+
+  // A garbage candidate basis must fall back to the cold start, not fail.
+  const std::vector<int> bogus = {0, 0, 0};
+  Options bad;
+  bad.warm_basis = &bogus;
+  const Result fallback = solve(p, bad);
+  ASSERT_EQ(fallback.status, Status::Optimal);
+  EXPECT_FALSE(fallback.warm_started);
+  EXPECT_NEAR(fallback.objective, 33.0, 1e-8);
+}
+
 TEST(Simplex, DuplicateTermsAreMerged) {
   // max x s.t. 0.5x + 0.5x <= 3 -> 3.
   Problem p;

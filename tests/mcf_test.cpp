@@ -171,6 +171,25 @@ TEST(Throughput, AutoDispatchesBySize) {
   EXPECT_EQ(rb.solver, "garg-konemann");
 }
 
+TEST(Throughput, SolverStatsSplitPivotsFromPhases) {
+  // The two engines do different work: an ExactLP solve reports simplex
+  // pivots and no GK counters; a GK solve reports phases and Dijkstra
+  // counts and no pivots. Cold one-shot solves are never warm-started.
+  const Network small = make_hypercube(3);
+  const auto lp = mcf::compute_throughput(small, all_to_all(small));
+  EXPECT_GT(lp.stats.pivots, 0);
+  EXPECT_EQ(lp.stats.phases, 0);
+  EXPECT_EQ(lp.stats.dijkstras, 0);
+  EXPECT_FALSE(lp.stats.warm_start);
+
+  const Network big = make_jellyfish(64, 5, 1, 2);
+  const auto gk = mcf::compute_throughput(big, longest_matching(big));
+  EXPECT_EQ(gk.stats.pivots, 0);
+  EXPECT_GT(gk.stats.phases, 0);
+  EXPECT_GT(gk.stats.dijkstras, gk.stats.phases);  // >= one per source/phase
+  EXPECT_FALSE(gk.stats.warm_start);
+}
+
 TEST(Throughput, VolumetricBoundDominates) {
   for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
     const Network jf = make_jellyfish(20, 4, 1, seed);

@@ -9,6 +9,12 @@ if(NOT DEFINED DRIVER OR NOT DEFINED WORK_DIR)
 endif()
 
 get_filename_component(driver_name ${DRIVER} NAME)
+# OUT_PREFIX disambiguates output files when the same driver is tested
+# under several configurations (e.g. fig04 cold and TOPOBENCH_WARMSTART=1),
+# so concurrent ctest jobs never clobber each other's CSVs.
+if(DEFINED OUT_PREFIX)
+  set(driver_name ${OUT_PREFIX})
+endif()
 
 set(tiny_env
   TOPOBENCH_CSV=1
