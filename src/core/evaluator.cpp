@@ -93,4 +93,22 @@ DegradedResult degraded_throughput(const Network& net, const TrafficMatrix& tm,
   return res;
 }
 
+std::vector<DegradedResult> degraded_throughput_batch(
+    const Network& net, const TrafficMatrix& tm,
+    const std::vector<mcf::ScenarioSpec>& scenarios,
+    const mcf::SolveOptions& solve, bool parallel_cells) {
+  mcf::ScenarioFleet fleet(net);
+  const std::vector<mcf::FleetCell> cells =
+      fleet.evaluate(tm, scenarios, solve, parallel_cells);
+  std::vector<DegradedResult> out(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out[i].baseline = cells[i].baseline;
+    out[i].degraded = cells[i].result.throughput;
+    out[i].drop = cells[i].drop;
+    out[i].failed_links = cells[i].failed_links;
+    out[i].stats = cells[i].result.stats;
+  }
+  return out;
+}
+
 }  // namespace tb

@@ -92,4 +92,17 @@ DegradedResult degraded_throughput(const Network& net, const TrafficMatrix& tm,
                                    const mcf::ScenarioSpec& scenario,
                                    const mcf::SolveOptions& solve = {});
 
+/// Batch form on mcf::ScenarioFleet: one cold baseline solve for the whole
+/// batch, every scenario warm-solved from a forked clone of the baseline
+/// session, clones distributed over the shared pool (`parallel_cells`
+/// false keeps the fan-out on the calling thread — see
+/// ScenarioFleet::evaluate). Per-scenario results are bitwise identical to
+/// calling degraded_throughput once per scenario (any thread count); only
+/// the wall clock and the baseline solve count differ. Results are in
+/// scenario order.
+std::vector<DegradedResult> degraded_throughput_batch(
+    const Network& net, const TrafficMatrix& tm,
+    const std::vector<mcf::ScenarioSpec>& scenarios,
+    const mcf::SolveOptions& solve = {}, bool parallel_cells = true);
+
 }  // namespace tb

@@ -17,9 +17,9 @@ constexpr const char* kCsvHeader =
     "cell,topology,servers,switches,tm,seed,solver,trials,throughput,"
     "random_mean,random_ci95,relative,relative_ci95,cut_bound,cut_gap,"
     "cut_method,scenario,failed_links,throughput_drop,pivots,phases,"
-    "dijkstras,warm";
+    "dijkstras,warm,solver_threads";
 
-constexpr std::size_t kNumColumns = 23;
+constexpr std::size_t kNumColumns = 24;
 
 /// failed_links uses -1 as its NA sentinel (0 is a real count).
 std::string int_or_na(int v) { return v < 0 ? "na" : std::to_string(v); }
@@ -149,7 +149,7 @@ std::string ResultSet::to_csv() const {
         << csv_quote(r.cut_method) << ',' << csv_quote(r.scenario) << ','
         << int_or_na(r.failed_links) << ',' << num(r.throughput_drop) << ','
         << r.pivots << ',' << r.phases << ',' << r.dijkstras << ',' << r.warm
-        << '\n';
+        << ',' << r.solver_threads << '\n';
   }
   return out.str();
 }
@@ -184,7 +184,7 @@ std::string ResultSet::to_json() const {
         << ", \"throughput_drop\": " << json_num(r.throughput_drop)
         << ", \"pivots\": " << r.pivots << ", \"phases\": " << r.phases
         << ", \"dijkstras\": " << r.dijkstras << ", \"warm\": " << r.warm
-        << "}"
+        << ", \"solver_threads\": " << r.solver_threads << "}"
         << (i + 1 < rows_.size() ? "," : "") << '\n';
   }
   out << "]\n";
@@ -252,6 +252,8 @@ ResultSet ResultSet::from_csv(const std::string& csv) {
     r.phases = std::strtol(f[20].c_str(), nullptr, 10);
     r.dijkstras = std::strtol(f[21].c_str(), nullptr, 10);
     r.warm = static_cast<int>(std::strtol(f[22].c_str(), nullptr, 10));
+    r.solver_threads =
+        static_cast<int>(std::strtol(f[23].c_str(), nullptr, 10));
     rs.add(std::move(r));
   }
   if (!record.empty()) {
@@ -271,7 +273,8 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
                  "solver", "trials", "throughput", "random_mean",
                  "random_ci95", "relative", "relative_ci95", "cut_bound",
                  "cut_gap", "cut_method", "scenario", "failed_links",
-                 "throughput_drop", "pivots", "phases", "dijkstras", "warm"});
+                 "throughput_drop", "pivots", "phases", "dijkstras", "warm",
+                 "solver_threads"});
     for (const CellResult& r : rows_) {
       table.add_row({std::to_string(r.cell), r.topology,
                      std::to_string(r.servers), std::to_string(r.switches),
@@ -284,7 +287,8 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
                      r.scenario.empty() ? "na" : r.scenario,
                      int_or_na(r.failed_links), num_short(r.throughput_drop),
                      std::to_string(r.pivots), std::to_string(r.phases),
-                     std::to_string(r.dijkstras), std::to_string(r.warm)});
+                     std::to_string(r.dijkstras), std::to_string(r.warm),
+                     std::to_string(r.solver_threads)});
     }
     table.print(os, caption);
   }

@@ -53,6 +53,11 @@ struct CellResult {
   long phases = 0;
   long dijkstras = 0;
   int warm = 0;
+  // Intra-solve threading configuration of the cell's solves (the
+  // requested SolveOptions::solver_threads — 0 means the shared pool), not
+  // a measured worker count: results stay byte-identical across machines
+  // and pool sizes, which the determinism entries rely on.
+  int solver_threads = 0;
 };
 
 /// An ordered collection of cell results with uniform CSV/JSON emission.

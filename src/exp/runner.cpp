@@ -51,6 +51,19 @@ std::string config_fingerprint(const Sweep& s) {
       key += tm.label;
     }
   }
+  if (!s.scenarios.empty()) {
+    // A failure cell's TM comes from its group's scenario-0 cell stream,
+    // so its result depends on the scenario-axis shape (count and
+    // ordinals), not just its own scenario label: two sweeps can place the
+    // same label at the same flat index inside differently shaped axes.
+    // Fold the ordered scenario label list into the configuration
+    // identity, as warm mode does for its TM chain.
+    key += "|fleet";
+    for (const ScenarioPoint& p : s.scenarios) {
+      key += '\x1f';
+      key += p.label;
+    }
+  }
   return key;
 }
 
@@ -116,67 +129,65 @@ std::string solver_label(const mcf::SolveOptions& opts) {
   return "?";
 }
 
-CellResult Runner::eval_cell(const Sweep& sweep,
-                             const std::string& topo_label, const Network& net,
-                             const TmSpec& tm_spec, std::size_t cell_index,
-                             const ScenarioPoint* scenario,
-                             mcf::ThroughputEngine* engine, bool warm) const {
-  CellResult r;
+namespace {
+
+/// Shared CellResult scaffolding of a cell: identity columns + stats.
+void fill_cell_identity(CellResult& r, std::size_t cell_index,
+                        const std::string& topo_label, const Network& net,
+                        const std::string& tm_label, std::uint64_t cell_seed,
+                        const mcf::SolveOptions& solve) {
   r.cell = cell_index;
   // The spec label, not net.name: the label is the identity rows and cache
   // keys agree on, and caller-authored specs may name instances freely.
   r.topology = topo_label;
   r.servers = net.total_servers();
   r.switches = net.graph.num_nodes();
-  r.tm = tm_spec.label;
-  const std::uint64_t cell_seed = mix_seed(sweep.base_seed, cell_index);
+  r.tm = tm_label;
   r.seed = cell_seed;
-  r.solver = solver_label(sweep.solve);
+  r.solver = solver_label(solve);
+}
+
+void record_stats(CellResult& r, const mcf::SolverStats& s) {
+  r.pivots = s.pivots;
+  r.phases = s.phases;
+  r.dijkstras = s.dijkstras;
+  r.warm = s.warm_start ? 1 : 0;
+  r.solver_threads = s.solver_threads;
+}
+
+}  // namespace
+
+CellResult Runner::eval_cell(const Sweep& sweep,
+                             const mcf::SolveOptions& solve,
+                             const std::string& topo_label, const Network& net,
+                             const TmSpec& tm_spec, std::size_t cell_index,
+                             mcf::ThroughputEngine* engine, bool warm) const {
+  CellResult r;
+  const std::uint64_t cell_seed = mix_seed(sweep.base_seed, cell_index);
+  fill_cell_identity(r, cell_index, topo_label, net, tm_spec.label, cell_seed,
+                     solve);
   const TrafficMatrix tm = tm_spec.build(net, mix_seed(cell_seed, 0));
-  const auto record_stats = [&r](const mcf::SolverStats& s) {
-    r.pivots = s.pivots;
-    r.phases = s.phases;
-    r.dijkstras = s.dijkstras;
-    r.warm = s.warm_start ? 1 : 0;
-  };
-  if (scenario != nullptr) {
-    // Failure cell: baseline + degraded solve on a cell-private engine.
-    // The scenario sampler draws from the stream after the cut sampler's
-    // (trials + 2), so the failure axis perturbs no existing column.
-    r.trials = 0;
-    r.scenario = scenario->label;
-    mcf::ScenarioSpec spec = scenario->spec;
-    spec.seed =
-        mix_seed(cell_seed, static_cast<std::uint64_t>(sweep.trials) + 2);
-    const DegradedResult deg = degraded_throughput(net, tm, spec, sweep.solve);
-    r.throughput = deg.degraded;
-    r.failed_links = deg.failed_links;
-    r.throughput_drop = deg.drop;
-    record_stats(deg.stats);
-    return r;
-  }
   if (sweep.trials <= 0) {
     r.trials = 0;
     const mcf::ThroughputResult t =
         engine != nullptr
-            ? (warm ? engine->warm_solve(tm, sweep.solve)
-                    : engine->solve(tm, sweep.solve))
-            : mcf::compute_throughput(net, tm, sweep.solve);
+            ? (warm ? engine->warm_solve(tm, solve) : engine->solve(tm, solve))
+            : mcf::compute_throughput(net, tm, solve);
     r.throughput = t.throughput;
-    record_stats(t.stats);
+    record_stats(r, t.stats);
   } else {
     r.trials = sweep.trials;
     RelativeOptions ropts;
     ropts.random_trials = sweep.trials;
     ropts.seed = cell_seed;  // trial t samples mix_seed(base, cell, t)
-    ropts.solve = sweep.solve;
+    ropts.solve = solve;
     const RelativeResult rel = relative_throughput(net, tm, ropts);
     r.throughput = rel.topo_throughput;
     r.random_mean = rel.random_throughput.mean;
     r.random_ci95 = rel.random_throughput.ci95;
     r.relative = rel.relative;
     r.relative_ci95 = rel.relative_ci95;
-    record_stats(rel.topo_stats);
+    record_stats(r, rel.topo_stats);
   }
   if (sweep.cut_bounds) {
     // The cut sampler draws from the stream after the last random-graph
@@ -194,12 +205,64 @@ CellResult Runner::eval_cell(const Sweep& sweep,
   return r;
 }
 
+void Runner::eval_failure_group(const Sweep& sweep,
+                                const mcf::SolveOptions& solve,
+                                const std::string& topo_label,
+                                const Network& net, const TmSpec& tm_spec,
+                                const std::vector<std::size_t>& cell_indices,
+                                std::vector<CellResult>& out) const {
+  const std::size_t num_scenarios = sweep.scenarios.size();
+  // The group's TM comes from its scenario-0 cell stream so every scenario
+  // of the group degrades the same instance (see the header contract); the
+  // flat expansion is scenario-minor, so that cell is the group's floor.
+  const std::size_t first_index =
+      (cell_indices.front() / num_scenarios) * num_scenarios;
+  const TrafficMatrix tm = tm_spec.build(
+      net, mix_seed(mix_seed(sweep.base_seed, first_index), 0));
+  // Per-cell failure sampling: each scenario keeps drawing from its own
+  // cell's stream after the cut sampler's (trials + 2), so the batch shape
+  // never leaks into the sampled failure sets.
+  std::vector<mcf::ScenarioSpec> specs;
+  specs.reserve(cell_indices.size());
+  for (const std::size_t index : cell_indices) {
+    mcf::ScenarioSpec spec =
+        sweep.scenarios[index % num_scenarios].spec;
+    spec.seed = mix_seed(mix_seed(sweep.base_seed, index),
+                         static_cast<std::uint64_t>(sweep.trials) + 2);
+    specs.push_back(std::move(spec));
+  }
+  // parallel_ gates the fleet's per-scenario fan-out too: a cell-serial
+  // runner keeps every cell on the calling thread (the solvers still
+  // honor solve.parallel / solver_threads independently).
+  const std::vector<DegradedResult> deg =
+      degraded_throughput_batch(net, tm, specs, solve, parallel_);
+  for (std::size_t k = 0; k < cell_indices.size(); ++k) {
+    const std::size_t index = cell_indices[k];
+    CellResult& r = out[index];
+    fill_cell_identity(r, index, topo_label, net, tm_spec.label,
+                       mix_seed(sweep.base_seed, index), solve);
+    r.trials = 0;
+    r.scenario = sweep.scenarios[index % num_scenarios].label;
+    r.throughput = deg[k].degraded;
+    r.failed_links = deg[k].failed_links;
+    r.throughput_drop = deg[k].drop;
+    record_stats(r, deg[k].stats);
+  }
+}
+
 ResultSet Runner::run(const Sweep& sweep) {
   if (sweep.topologies.empty() || sweep.tms.empty()) {
     throw std::invalid_argument("Runner::run: empty sweep");
   }
   validate_modes(sweep);
   const std::vector<Cell> cells = expand(sweep);
+  // TOPOBENCH_SOLVER_THREADS seeds the intra-solve threading knob when the
+  // sweep leaves it at 0; never part of cache identity (results are
+  // thread-invariant by the solver determinism contracts).
+  mcf::SolveOptions solve = sweep.solve;
+  if (solve.solver_threads == 0) {
+    solve.solver_threads = env_int("TOPOBENCH_SOLVER_THREADS", 0, 0, 512);
+  }
 
   std::vector<CellResult> out(cells.size());
   std::vector<std::size_t> misses;  // cell indices needing evaluation
@@ -215,6 +278,9 @@ ResultSet Runner::run(const Sweep& sweep) {
         if (it != cache_.end()) {
           out[c.index] = it->second;
           out[c.index].cell = c.index;
+          // The column echoes the *requested* configuration (results.h);
+          // the cached row may have been computed under a different one.
+          out[c.index].solver_threads = solve.solver_threads;
           ++stats_.hits;
         } else {
           misses.push_back(c.index);
@@ -245,6 +311,7 @@ ResultSet Runner::run(const Sweep& sweep) {
                 scenario_label_of(sweep, c), mix_seed(sweep.base_seed, c.index),
                 sweep));
             out[c.index].cell = c.index;
+            out[c.index].solver_threads = solve.solver_threads;
             ++stats_.hits;
           } else {
             misses.push_back(c.index);
@@ -264,17 +331,47 @@ ResultSet Runner::run(const Sweep& sweep) {
   }
 
   ThreadPool& pool = ThreadPool::shared();
-  if (!sweep.warm_start) {
+  if (!sweep.scenarios.empty()) {
+    // Failures mode: the missing cells of each (topology, TM) pair form
+    // one ScenarioFleet batch (a shared baseline + per-scenario degraded
+    // solves). Groups run concurrently — the fleet's own parallelism
+    // inlines on pool workers — and per-scenario results are independent
+    // of the batch shape, so output stays byte-identical for any thread
+    // count and any cache state.
+    struct FleetGroup {
+      std::size_t topo = 0;
+      std::size_t tm = 0;
+      std::vector<std::size_t> cell_indices;  // misses, in cell order
+    };
+    std::vector<FleetGroup> groups;
+    for (const std::size_t index : misses) {
+      const Cell& c = cells[index];
+      if (groups.empty() || groups.back().topo != c.topo ||
+          groups.back().tm != c.tm) {
+        groups.push_back({c.topo, c.tm, {}});
+      }
+      groups.back().cell_indices.push_back(index);
+    }
+    const auto eval_group = [&](std::size_t k) {
+      const FleetGroup& grp = groups[k];
+      eval_failure_group(sweep, solve, sweep.topologies[grp.topo].label,
+                         *nets[grp.topo], sweep.tms[grp.tm], grp.cell_indices,
+                         out);
+    };
+    if (parallel_ && groups.size() > 1 && pool.size() > 1) {
+      pool.parallel_for(0, groups.size(), eval_group);
+    } else {
+      for (std::size_t k = 0; k < groups.size(); ++k) eval_group(k);
+    }
+  } else if (!sweep.warm_start) {
     // Evaluate the missing cells — concurrently when allowed — writing each
     // result into its own slot; everything below the barrier is a
     // deterministic reduction in cell order.
     const auto eval = [&](std::size_t k) {
       const Cell& c = cells[misses[k]];
-      const ScenarioPoint* scenario =
-          sweep.scenarios.empty() ? nullptr : &sweep.scenarios[c.scenario];
-      out[c.index] = eval_cell(sweep, sweep.topologies[c.topo].label,
+      out[c.index] = eval_cell(sweep, solve, sweep.topologies[c.topo].label,
                                *nets[c.topo], sweep.tms[c.tm], c.index,
-                               scenario, /*engine=*/nullptr, /*warm=*/false);
+                               /*engine=*/nullptr, /*warm=*/false);
     };
     if (parallel_ && misses.size() > 1 && pool.size() > 1) {
       pool.parallel_for(0, misses.size(), eval);
@@ -302,9 +399,9 @@ ResultSet Runner::run(const Sweep& sweep) {
         // The whole chain runs in session mode (the first cell has no
         // previous solution to seed from but still gets the session
         // dynamics; see ThroughputEngine::warm_solve).
-        out[index] = eval_cell(sweep, sweep.topologies[t].label, *nets[t],
-                               sweep.tms[m], index, /*scenario=*/nullptr,
-                               &engine, /*warm=*/true);
+        out[index] = eval_cell(sweep, solve, sweep.topologies[t].label,
+                               *nets[t], sweep.tms[m], index, &engine,
+                               /*warm=*/true);
       }
     };
     if (parallel_ && chain_topos.size() > 1 && pool.size() > 1) {

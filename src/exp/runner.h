@@ -15,12 +15,24 @@
 // base seed the output is byte-identical for any thread count, including
 // TOPOBENCH_THREADS=1.
 //
-// Failures mode (Sweep::scenarios non-empty): each cell evaluates
-// core's degraded_throughput — a cold baseline solve, the scenario applied
-// as an incremental engine perturbation, and a warm degraded solve — on a
-// cell-private ThroughputEngine, so cells stay independent and the
-// determinism contract is unchanged. Requires absolute mode (trials == 0,
-// no cut bounds, no warm chains).
+// Failures mode (Sweep::scenarios non-empty): the missing cells of each
+// (topology, TM) pair evaluate as one mcf::ScenarioFleet batch — a single
+// cold baseline solve, then every scenario warm-solved on a forked clone of
+// the baseline session — so a grid of S scenarios pays one baseline instead
+// of S. The group's TM is built from its scenario-0 cell stream
+// (mix_seed(base, first_cell, 0)): every scenario of the group degrades the
+// same instance, which is what makes the shared baseline (and the drop
+// column) meaningful; each scenario's failure sampler still draws from its
+// own cell's stream mix_seed(base, cell, trials + 2). Groups run
+// concurrently and per-scenario fleet results are independent of batch
+// shape, so the determinism contract is unchanged. Requires absolute mode
+// (trials == 0, no cut bounds, no warm chains).
+//
+// Solver threading: Runner::run seeds SolveOptions::solver_threads from
+// TOPOBENCH_SOLVER_THREADS when the sweep leaves it 0. By the solver
+// determinism contracts the knob never changes values — it is recorded in
+// the solver_threads column (the requested configuration, not a measured
+// count) and deliberately excluded from cache identity like `parallel`.
 //
 // Warm-start mode (Sweep::warm_start): the evaluation unit becomes the
 // topology, not the cell — each topology's TM cells run as one ordered
@@ -76,13 +88,23 @@ class Runner {
   const CacheStats& cache_stats() const noexcept { return stats_; }
 
  private:
-  /// Evaluate one cell. `scenario` is non-null in failures mode. `engine`
-  /// is non-null in warm-start mode (the topology chain's shared session;
-  /// `warm` selects warm_solve for every chain position after the first).
-  CellResult eval_cell(const Sweep& sweep, const std::string& topo_label,
-                       const Network& net, const TmSpec& tm,
-                       std::size_t cell_index, const ScenarioPoint* scenario,
+  /// Evaluate one non-failure cell. `engine` is non-null in warm-start
+  /// mode (the topology chain's shared session; `warm` selects warm_solve
+  /// for every chain position after the first).
+  CellResult eval_cell(const Sweep& sweep, const mcf::SolveOptions& solve,
+                       const std::string& topo_label, const Network& net,
+                       const TmSpec& tm, std::size_t cell_index,
                        mcf::ThroughputEngine* engine, bool warm) const;
+
+  /// Evaluate the missing cells of one (topology, TM) failure group as a
+  /// ScenarioFleet batch, writing each cell's result into `out` (indexed by
+  /// flat cell index). `cell_indices` holds the group's missing cells in
+  /// cell order.
+  void eval_failure_group(const Sweep& sweep, const mcf::SolveOptions& solve,
+                          const std::string& topo_label, const Network& net,
+                          const TmSpec& tm,
+                          const std::vector<std::size_t>& cell_indices,
+                          std::vector<CellResult>& out) const;
 
   bool parallel_;
   std::mutex mutex_;

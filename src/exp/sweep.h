@@ -145,6 +145,9 @@ ScenarioPoint degrade_scenario(double factor);
 //   TOPOBENCH_TRIALS         — random-graph samples per data point
 //   TOPOBENCH_TARGET_SERVERS — representative-instance size target
 //   TOPOBENCH_MAX_SERVERS    — ladder upper cutoff
+//   TOPOBENCH_SOLVER_THREADS — intra-solve worker threads (0 = shared
+//                              pool, 1 = serial, N = dedicated pool;
+//                              never changes values — see runner.h)
 
 double env_eps(double fallback);
 /// TOPOBENCH_TRIALS in [1, 100]; out-of-range or unset means `fallback`.

@@ -6,6 +6,9 @@
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace tb::lp {
 namespace {
@@ -263,48 +266,105 @@ Result solve(const Problem& p, const Options& opts) {
   std::vector<double> y(static_cast<std::size_t>(m));
   std::vector<double> d(static_cast<std::size_t>(m));
 
+  // Deterministic parallel scans (see Options::pool): per-iteration work
+  // whose slots are independent — BTRAN columns, FTRAN rows, basis-inverse
+  // row updates — runs on the pool with identical per-slot arithmetic, and
+  // pricing is partitioned into fixed column ranges reduced in range order
+  // with the serial comparison semantics. Both gates depend only on the
+  // problem shape, never the pool size, so the solve is bitwise invariant
+  // across thread counts (pool == nullptr included).
+  ThreadPool* pool = opts.pool;
+  constexpr int kPriceRange = 256;  // columns per pricing range (fixed)
+  const bool par_rows = pool != nullptr && m >= 256;
+  const bool par_price = pool != nullptr && n >= 2 * kPriceRange;
+  std::vector<std::pair<double, int>> price_best;  // (best rc, column)/range
+
   long degenerate_streak = 0;
   bool bland = false;
 
   for (res.iterations = 0; res.iterations < max_iter; ++res.iterations) {
     // BTRAN: y = cB' * Binv.
-    for (int j = 0; j < m; ++j) {
+    const auto btran_col = [&](std::size_t j) {
       double acc = 0.0;
       for (int i = 0; i < m; ++i) {
         acc += s.cost[static_cast<std::size_t>(basis[static_cast<std::size_t>(i)])] *
-               binv[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)];
+               binv[static_cast<std::size_t>(i) * m + j];
       }
-      y[static_cast<std::size_t>(j)] = acc;
+      y[j] = acc;
+    };
+    if (par_rows) {
+      pool->parallel_for(0, static_cast<std::size_t>(m), btran_col, 64);
+    } else {
+      for (int j = 0; j < m; ++j) btran_col(static_cast<std::size_t>(j));
     }
 
     // Pricing.
     int entering = -1;
     double best_rc = -opts.cost_tol;
-    for (int j = 0; j < n; ++j) {
-      if (in_basis[static_cast<std::size_t>(j)]) continue;
+    const auto price_column = [&](int j, double& best, int& ent) {
       double rc = s.cost[static_cast<std::size_t>(j)];
       for (const auto& [i, v] : s.cols[static_cast<std::size_t>(j)]) {
         rc -= y[static_cast<std::size_t>(i)] * v;
       }
       if (bland) {
-        if (rc < -opts.cost_tol) {
-          entering = j;
+        if (rc < -opts.cost_tol && ent < 0) ent = j;
+      } else if (rc < best) {
+        best = rc;
+        ent = j;
+      }
+    };
+    if (par_price) {
+      const int nranges = (n + kPriceRange - 1) / kPriceRange;
+      price_best.assign(static_cast<std::size_t>(nranges), {0.0, -1});
+      const auto price_range = [&](std::size_t rg) {
+        const int j0 = static_cast<int>(rg) * kPriceRange;
+        const int j1 = std::min(n, j0 + kPriceRange);
+        double best = -opts.cost_tol;
+        int ent = -1;
+        for (int j = j0; j < j1; ++j) {
+          if (in_basis[static_cast<std::size_t>(j)]) continue;
+          price_column(j, best, ent);
+          if (bland && ent >= 0) break;
+        }
+        price_best[rg] = {best, ent};
+      };
+      pool->parallel_for(0, static_cast<std::size_t>(nranges), price_range);
+      // Range-order reduction with the serial strict-< semantics: the
+      // winner is exactly the column the single-threaded scan would pick.
+      for (const auto& [best, ent] : price_best) {
+        if (ent < 0) continue;
+        if (bland) {
+          entering = ent;
           break;
         }
-      } else if (rc < best_rc) {
-        best_rc = rc;
-        entering = j;
+        if (best < best_rc) {
+          best_rc = best;
+          entering = ent;
+        }
+      }
+    } else {
+      for (int j = 0; j < n; ++j) {
+        if (in_basis[static_cast<std::size_t>(j)]) continue;
+        price_column(j, best_rc, entering);
+        if (bland && entering >= 0) break;
       }
     }
     if (entering < 0) break;  // optimal
 
-    // FTRAN: d = Binv * A[entering].
-    std::fill(d.begin(), d.end(), 0.0);
-    for (const auto& [i, v] : s.cols[static_cast<std::size_t>(entering)]) {
-      for (int r = 0; r < m; ++r) {
-        d[static_cast<std::size_t>(r)] +=
-            v * binv[static_cast<std::size_t>(r) * m + static_cast<std::size_t>(i)];
+    // FTRAN: d = Binv * A[entering], one independent dot per row (the
+    // per-row accumulation order matches the serial entry-outer loop).
+    const auto& ecol = s.cols[static_cast<std::size_t>(entering)];
+    const auto ftran_row = [&](std::size_t r) {
+      double acc = 0.0;
+      for (const auto& [i, v] : ecol) {
+        acc += v * binv[r * m + static_cast<std::size_t>(i)];
       }
+      d[r] = acc;
+    };
+    if (par_rows) {
+      pool->parallel_for(0, static_cast<std::size_t>(m), ftran_row, 64);
+    } else {
+      for (int r = 0; r < m; ++r) ftran_row(static_cast<std::size_t>(r));
     }
 
     // Ratio test.
@@ -352,12 +412,17 @@ Result solve(const Problem& p, const Options& opts) {
 
     double* lrow = &binv[static_cast<std::size_t>(leave) * m];
     for (int j = 0; j < m; ++j) lrow[j] /= piv;
-    for (int i = 0; i < m; ++i) {
-      if (i == leave) continue;
-      const double f = d[static_cast<std::size_t>(i)];
-      if (f == 0.0) continue;
-      double* row = &binv[static_cast<std::size_t>(i) * m];
+    const auto eliminate_row = [&](std::size_t i) {
+      if (static_cast<int>(i) == leave) return;
+      const double f = d[i];
+      if (f == 0.0) return;
+      double* row = &binv[i * m];
       for (int j = 0; j < m; ++j) row[j] -= f * lrow[j];
+    };
+    if (par_rows) {
+      pool->parallel_for(0, static_cast<std::size_t>(m), eliminate_row, 64);
+    } else {
+      for (int i = 0; i < m; ++i) eliminate_row(static_cast<std::size_t>(i));
     }
 
     in_basis[static_cast<std::size_t>(basis[static_cast<std::size_t>(leave)])] = 0;

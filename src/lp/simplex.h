@@ -17,6 +17,10 @@
 #include <utility>
 #include <vector>
 
+namespace tb {
+class ThreadPool;
+}  // namespace tb
+
 namespace tb::lp {
 
 enum class Sense { LE, GE, EQ };
@@ -74,6 +78,13 @@ struct Options {
   /// the cold slack/artificial start. Never affects correctness — only the
   /// pivot count.
   const std::vector<int>* warm_basis = nullptr;
+  /// When set, the per-iteration independent scans — pricing (reduced
+  /// costs over fixed column ranges), BTRAN, and FTRAN — run on this pool,
+  /// gated on problem size. The partitioning is a compile-time constant
+  /// and every reduction is applied in range order with the serial
+  /// comparison semantics, so the chosen pivots (and therefore the whole
+  /// solve) are bitwise identical to the serial path for any pool size.
+  ThreadPool* pool = nullptr;
 };
 
 /// Solve the LP. The returned x satisfies all rows within ~1e-6.

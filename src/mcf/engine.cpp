@@ -3,16 +3,69 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace tb::mcf {
 
+namespace {
+
+/// Process-shared dedicated solver pools, one per requested size. Engines
+/// (and their fleet forks) are constructed per solve or per scenario all
+/// over the stack, so pools must outlive any single engine — spawning and
+/// joining N threads per solve would dwarf small solves and pollute the
+/// parallel_scaling timings. Like ThreadPool::shared(), pools live for
+/// the process; distinct engines sharing a pool is safe (parallel_for
+/// only queues work) and cannot change results by the determinism
+/// contracts.
+ThreadPool& dedicated_pool(std::size_t threads) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& slot = pools[threads];
+  if (!slot) slot = std::make_unique<ThreadPool>(threads);
+  return *slot;
+}
+
+/// Resolve SolveOptions::solver_threads to the (parallel, pool) pair the
+/// solvers receive (null pool = ThreadPool::shared()).
+std::pair<bool, ThreadPool*> resolve_solver_pool(const SolveOptions& opts) {
+  if (!opts.parallel || opts.solver_threads == 1) return {false, nullptr};
+  if (opts.solver_threads <= 0) return {true, nullptr};  // shared pool
+  if (ThreadPool::in_worker()) {
+    // Nested under outer parallelism: parallel_for inlines on workers, so
+    // a dedicated pool could never be used — don't spin up its threads.
+    return {true, nullptr};
+  }
+  return {true, &dedicated_pool(static_cast<std::size_t>(opts.solver_threads))};
+}
+
+}  // namespace
+
 ThroughputEngine::ThroughputEngine(const Network& net)
     : net_(&net), gk_(net.graph) {}
+
+ThroughputEngine::ThroughputEngine(const ThroughputEngine& base, bool)
+    : net_(base.net_),
+      gk_(base.gk_),
+      lp_basis_(base.lp_basis_),
+      gk_tm_fingerprint_(base.gk_tm_fingerprint_) {}
+
+std::unique_ptr<ThroughputEngine> ThroughputEngine::fork_session() const {
+  if (scenario_active_) {
+    throw std::logic_error(
+        "ThroughputEngine::fork_session: scenario active — fork the intact "
+        "baseline, then apply scenarios to the clones");
+  }
+  return std::unique_ptr<ThroughputEngine>(new ThroughputEngine(*this, true));
+}
 
 void ThroughputEngine::apply_scenario(const ScenarioSpec& spec) {
   clear_scenario();
@@ -155,6 +208,7 @@ ThroughputResult ThroughputEngine::run(const TrafficMatrix& tm,
     // all) makes 0 the exact optimum of the concurrent-flow LP.
     ThroughputResult zero;
     zero.solver = "disconnected";
+    zero.stats.solver_threads = opts.solver_threads;
     return zero;
   }
 
@@ -178,6 +232,7 @@ ThroughputResult ThroughputEngine::run(const TrafficMatrix& tm,
        net_->graph.num_nodes() <= opts.exact_max_switches &&
        lp_size_within(num_sources, net_->graph.num_arcs(),
                       opts.exact_max_lp_size));
+  const auto [solve_parallel, pool] = resolve_solver_pool(opts);
   if (use_exact) {
     ExactLpSession session;
     if (scenario_active_) session.arc_caps = &gk_.arc_capacities();
@@ -185,15 +240,20 @@ ThroughputResult ThroughputEngine::run(const TrafficMatrix& tm,
     if (warm && !lp_basis_.empty()) session.warm_basis = &lp_basis_;
     session.basis_out = &lp_basis_;
     session.warm_started_out = &warm_used;
+    session.pool = solve_parallel
+                       ? (pool != nullptr ? pool : &ThreadPool::shared())
+                       : nullptr;
     ThroughputResult res = throughput_exact_lp(net_->graph, *effective,
                                                session);
     res.stats.warm_start = warm_used;
+    res.stats.solver_threads = opts.solver_threads;
     return res;
   }
 
   GkOptions gkopts;
   gkopts.epsilon = opts.epsilon;
-  gkopts.parallel = opts.parallel;
+  gkopts.parallel = solve_parallel;
+  gkopts.pool = pool;
   // Warm solves run the session dynamics (Fleischer-style tree reuse, see
   // GkOptions::reuse_trees). Cross-solve length seeding additionally kicks
   // in only when this TM routes the same commodity pairs as the previous
@@ -232,7 +292,40 @@ ThroughputResult ThroughputEngine::run(const TrafficMatrix& tm,
   // "Warm" records that the solve ran in the session mode (tree reuse,
   // plus length seeding when the commodity fingerprint matched).
   res.stats.warm_start = warm;
+  res.stats.solver_threads = opts.solver_threads;
   return res;
+}
+
+std::vector<FleetCell> ScenarioFleet::evaluate(
+    const TrafficMatrix& tm, const std::vector<ScenarioSpec>& specs,
+    const SolveOptions& opts, bool parallel_cells) {
+  std::vector<FleetCell> out(specs.size());
+  if (specs.empty()) return out;
+  // One cold baseline per batch; it is bitwise the baseline every
+  // one-at-a-time degraded_throughput call would compute for this TM.
+  ThroughputEngine base(*net_);
+  const ThroughputResult baseline = base.solve(tm, opts);
+  // Each scenario gets a fresh fork of the intact baseline session, so its
+  // warm degraded solve seeds exactly as a one-at-a-time evaluation would —
+  // cells are independent, making the batch order- and thread-invariant.
+  const auto eval_one = [&](std::size_t i) {
+    const std::unique_ptr<ThroughputEngine> worker = base.fork_session();
+    worker->apply_scenario(specs[i]);
+    FleetCell& cell = out[i];
+    cell.baseline = baseline.throughput;
+    cell.result = worker->warm_solve(tm, opts);
+    cell.failed_links = worker->failed_edge_count();
+    cell.drop = cell.baseline > 0.0
+                    ? 1.0 - cell.result.throughput / cell.baseline
+                    : 0.0;
+  };
+  ThreadPool& pool = ThreadPool::shared();
+  if (parallel_cells && opts.parallel && specs.size() > 1 && pool.size() > 1) {
+    pool.parallel_for(0, specs.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) eval_one(i);
+  }
+  return out;
 }
 
 }  // namespace tb::mcf

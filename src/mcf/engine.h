@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mcf/garg_konemann.h"
@@ -90,12 +91,24 @@ class ThroughputEngine {
   /// Restore the unperturbed capacities (O(affected arcs) repair).
   void clear_scenario();
 
+  /// Fork a lightweight clone of this session for evaluating independent
+  /// perturbations concurrently (ScenarioFleet's worker sessions): the
+  /// clone shares the immutable topology and copies only per-arc working
+  /// state — capacities, warm GK lengths, the LP basis — so its next
+  /// warm_solve seeds exactly as this engine's would. Throws
+  /// std::logic_error while a scenario is active (fork the intact
+  /// baseline, then apply scenarios to the clones).
+  std::unique_ptr<ThroughputEngine> fork_session() const;
+
   bool scenario_active() const noexcept { return scenario_active_; }
   /// Edges with zero capacity under the active scenario (0 when none).
   int failed_edge_count() const noexcept { return failed_edge_count_; }
   const Network& network() const noexcept { return *net_; }
 
  private:
+  /// Fork constructor backing fork_session().
+  ThroughputEngine(const ThroughputEngine& base, bool);
+
   ThroughputResult run(const TrafficMatrix& tm, const SolveOptions& opts,
                        bool warm);
   /// True when every demand connects nodes in one component of the
@@ -128,6 +141,45 @@ class ThroughputEngine {
   // Scratch for demands_connected (component labels per node).
   std::vector<int> comp_;
   std::vector<int> bfs_queue_;
+};
+
+/// Result of one fleet scenario: the degraded solve plus its baseline
+/// context (the baseline is shared by every cell of a batch).
+struct FleetCell {
+  ThroughputResult result;  ///< degraded solve (value, solver, stats)
+  double baseline = 0.0;    ///< intact cold throughput of the batch
+  double drop = 0.0;        ///< 1 - degraded/baseline (0 when baseline is 0)
+  int failed_links = 0;     ///< edges at zero capacity under the scenario
+};
+
+/// Batch evaluator for degraded-network scenarios against one topology:
+/// the throughput side of failure grids and sweeps. One cold baseline
+/// solve per (TM, batch); every scenario is then applied to a forked clone
+/// of the baseline session (sharing the immutable topology, copying only
+/// per-arc working state) and warm-solved from the baseline solution, with
+/// the clones distributed over the shared thread pool. Per-scenario results
+/// are bitwise identical to evaluating each scenario one-at-a-time through
+/// core's degraded_throughput, for any thread count — only the wall clock
+/// and the number of baseline solves change. Nests safely under runner
+/// parallelism: on a pool worker the fleet's parallel_for runs inline.
+class ScenarioFleet {
+ public:
+  /// `net` must outlive the fleet.
+  explicit ScenarioFleet(const Network& net) : net_(&net) {}
+
+  /// Evaluate every scenario of `specs` against `tm`, in spec order.
+  /// `parallel_cells` gates only the per-scenario fan-out onto the shared
+  /// pool (callers that must stay on one thread — a cell-serial
+  /// experiment runner — pass false; the solvers still honor
+  /// opts.parallel / solver_threads independently). Results are identical
+  /// either way.
+  std::vector<FleetCell> evaluate(const TrafficMatrix& tm,
+                                  const std::vector<ScenarioSpec>& specs,
+                                  const SolveOptions& opts = {},
+                                  bool parallel_cells = true);
+
+ private:
+  const Network* net_;
 };
 
 }  // namespace tb::mcf

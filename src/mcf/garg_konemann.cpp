@@ -100,9 +100,13 @@ void GkSolver::reset_capacities() {
 
 double GkSolver::bidirectional_path(int s, int t, double vol,
                                     std::vector<std::pair<int, double>>&
-                                        arcs_out) {
+                                        arcs_out,
+                                    Scratch& sc) {
   const Graph& g = *g_;
   const auto n = static_cast<std::size_t>(g.num_nodes());
+  auto& bi_dist_ = sc.bi_dist;
+  auto& bi_par_ = sc.bi_par;
+  auto& bi_settled_ = sc.bi_settled;
   for (int side = 0; side < 2; ++side) {
     bi_dist_[side].assign(n, kInf);
     bi_par_[side].assign(n, -1);
@@ -292,31 +296,30 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
   snap_flow_.assign(static_cast<std::size_t>(num_arcs), 0.0);
   long snap_phase = 0;
 
-  // Per-block Dijkstra scratch (fixed block size => deterministic result).
+  // Per-slot scratch, one slot per block position (fixed block size =>
+  // the partition, and therefore the result, never depends on the pool).
   const int block = std::max(1, opts.block_size);
-  dist_buf_.resize(static_cast<std::size_t>(block));
-  parent_buf_.resize(static_cast<std::size_t>(block));
-  tent_buf_.resize(static_cast<std::size_t>(block));
-  target_buf_.resize(static_cast<std::size_t>(block));
-
-  // Routing scratch.
-  node_vol_.assign(n, 0.0);
-  order_.resize(n);
+  scratch_.resize(static_cast<std::size_t>(block));
+  for (Scratch& sc : scratch_) {
+    sc.node_vol.assign(n, 0.0);  // kept zeroed between uses
+    sc.order.resize(n);
+    sc.cur_dist.resize(n);
+  }
 
   // Session dynamics (reuse_trees): per-group cached routed trees and the
   // helpers that build, validate, and route along them. A cached tree's
   // per-arc volumes are fixed (each phase routes the same demands), so
   // routing a fresh-enough tree is a flat array walk with no Dijkstra.
   tree_cache_.assign(opts.reuse_trees ? groups_.size() : 0, {});
-  cur_dist_.resize(opts.reuse_trees ? n : 0);
   // A tree is reusable while its paths stay within (1 + eps) of their
   // build-time shortest lengths: routing then loses at most ~eps of path
   // optimality, which shows up only in how fast the certified gap closes.
   const double stale_budget = 1.0 + eps;
 
-  const auto build_cache = [&](std::size_t gi, const std::vector<double>& dist,
-                               const std::vector<int>& parent) {
+  const auto build_cache = [&](std::size_t gi, Scratch& sc) {
     const SourceGroup& grp = groups_[gi];
+    const std::vector<double>& dist = sc.dist;
+    const std::vector<int>& parent = sc.parent;
     TreeCache& cache = tree_cache_[gi];
     cache.arcs.clear();
     cache.build_dist.resize(grp.sinks.size());
@@ -333,43 +336,43 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
     // push sink volumes up the tree in decreasing-distance order.
     assert(grp.sinks.size() > 1);
     for (const auto& [dst, demand] : grp.sinks) {
-      node_vol_[static_cast<std::size_t>(dst)] += demand * demand_scale;
+      sc.node_vol[static_cast<std::size_t>(dst)] += demand * demand_scale;
     }
-    for (std::size_t v = 0; v < n; ++v) order_[v] = static_cast<int>(v);
-    std::sort(order_.begin(), order_.end(), [&dist](int a, int b) {
+    for (std::size_t v = 0; v < n; ++v) sc.order[v] = static_cast<int>(v);
+    std::sort(sc.order.begin(), sc.order.end(), [&dist](int a, int b) {
       return dist[static_cast<std::size_t>(a)] >
              dist[static_cast<std::size_t>(b)];
     });
     for (std::size_t i = 0; i < n; ++i) {
-      const int v = order_[i];
+      const int v = sc.order[i];
       if (v == grp.src) continue;
-      const double vol = node_vol_[static_cast<std::size_t>(v)];
+      const double vol = sc.node_vol[static_cast<std::size_t>(v)];
       if (vol <= 0.0) continue;
-      node_vol_[static_cast<std::size_t>(v)] = 0.0;
+      sc.node_vol[static_cast<std::size_t>(v)] = 0.0;
       const int pa = parent[static_cast<std::size_t>(v)];
       assert(pa >= 0);
-      node_vol_[static_cast<std::size_t>(g.arc_from(pa))] += vol;
+      sc.node_vol[static_cast<std::size_t>(g.arc_from(pa))] += vol;
       cache.arcs.emplace_back(pa, vol);
     }
-    node_vol_[static_cast<std::size_t>(grp.src)] = 0.0;
+    sc.node_vol[static_cast<std::size_t>(grp.src)] = 0.0;
     cache.valid = true;
   };
 
   // Tree-walk the cached arcs root-to-leaf (the build order reversed) to
   // get every sink's current path length; the tree is fresh while no sink
   // drifted past the staleness budget of its build-time shortest distance.
-  const auto tree_fresh = [&](std::size_t gi) {
+  const auto tree_fresh = [&](std::size_t gi, Scratch& sc) {
     const SourceGroup& grp = groups_[gi];
     const TreeCache& cache = tree_cache_[gi];
-    cur_dist_[static_cast<std::size_t>(grp.src)] = 0.0;
+    sc.cur_dist[static_cast<std::size_t>(grp.src)] = 0.0;
     for (auto it = cache.arcs.rbegin(); it != cache.arcs.rend(); ++it) {
       const int a = it->first;
-      cur_dist_[static_cast<std::size_t>(g.arc_to(a))] =
-          cur_dist_[static_cast<std::size_t>(g.arc_from(a))] +
+      sc.cur_dist[static_cast<std::size_t>(g.arc_to(a))] =
+          sc.cur_dist[static_cast<std::size_t>(g.arc_from(a))] +
           length_[static_cast<std::size_t>(a)];
     }
     for (std::size_t i = 0; i < grp.sinks.size(); ++i) {
-      if (cur_dist_[static_cast<std::size_t>(grp.sinks[i].first)] >
+      if (sc.cur_dist[static_cast<std::size_t>(grp.sinks[i].first)] >
           stale_budget * cache.build_dist[i]) {
         return false;
       }
@@ -379,14 +382,14 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
 
   // Single-sink rebuild via bidirectional search (exact path + distance);
   // returns the build-time distance it stored.
-  const auto rebuild_single = [&](std::size_t gi) {
+  const auto rebuild_single = [&](std::size_t gi, Scratch& sc) {
     const SourceGroup& grp = groups_[gi];
     TreeCache& cache = tree_cache_[gi];
     cache.arcs.clear();
     cache.build_dist.resize(1);
     cache.build_dist[0] =
         bidirectional_path(grp.src, grp.sinks[0].first,
-                           grp.sinks[0].second * demand_scale, cache.arcs);
+                           grp.sinks[0].second * demand_scale, cache.arcs, sc);
     cache.valid = true;
     return cache.build_dist[0];
   };
@@ -405,7 +408,8 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
   GkResult res;
   res.upper_bound = kInf;
   res.warm_started = warm_seeded;
-  ThreadPool& pool = ThreadPool::shared();
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::shared();
+  const bool par = opts.parallel && pool.size() > 1;
 
   long phase = 0;
   long dijkstras = 0;
@@ -419,24 +423,40 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
   while (!stop && phase < opts.max_phases) {
     double alpha = 0.0;  // sum_j demand_j * dist_l(s_j, t_j) this phase
     if (opts.reuse_trees) {
-      // Session dynamics: route every group along its cached tree,
-      // re-running Dijkstra only for stale or missing trees. No per-phase
-      // alpha — the dual bound comes solely from the exact sweeps below,
-      // which keeps the certificate rigorous under stale routing.
-      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        TreeCache& cache = tree_cache_[gi];
-        if (!cache.valid || !tree_fresh(gi)) {
+      // Session dynamics, block-parallel: a block's freshness checks and
+      // tree rebuilds run against the lengths frozen at the block boundary
+      // (each slot on its own scratch), then the block's routing/length
+      // updates apply serially in group order — bitwise the same whether
+      // the block ran serial or on the pool. No per-phase alpha — the dual
+      // bound comes solely from the exact sweeps below, which keeps the
+      // certificate rigorous under stale routing.
+      for (std::size_t g0 = 0; g0 < groups_.size();
+           g0 += static_cast<std::size_t>(block)) {
+        const std::size_t g1 =
+            std::min(groups_.size(), g0 + static_cast<std::size_t>(block));
+        const auto prep = [&](std::size_t k) {
+          const std::size_t gi = g0 + k;
+          Scratch& sc = scratch_[k];
+          sc.rebuilt = false;
+          if (tree_cache_[gi].valid && tree_fresh(gi, sc)) return;
           if (groups_[gi].sinks.size() == 1) {
-            rebuild_single(gi);
+            rebuild_single(gi, sc);
           } else {
             dijkstra_to_targets(g, groups_[gi].src, length_, groups_[gi].sinks,
-                                dist_buf_[0], parent_buf_[0], tent_buf_[0],
-                                target_buf_[0]);
-            build_cache(gi, dist_buf_[0], parent_buf_[0]);
+                                sc.dist, sc.parent, sc.tent, sc.is_target);
+            build_cache(gi, sc);
           }
-          ++dijkstras;
+          sc.rebuilt = true;
+        };
+        if (par && g1 - g0 > 1) {
+          pool.parallel_for(0, g1 - g0, prep);
+        } else {
+          for (std::size_t k = 0; k < g1 - g0; ++k) prep(k);
         }
-        route_cached(cache, sum_cl);
+        for (std::size_t k = 0; k < g1 - g0; ++k) {
+          if (scratch_[k].rebuilt) ++dijkstras;
+          route_cached(tree_cache_[g0 + k], sum_cl);
+        }
       }
     } else {
       for (std::size_t g0 = 0; g0 < groups_.size();
@@ -445,11 +465,12 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
             std::min(groups_.size(), g0 + static_cast<std::size_t>(block));
         // Dijkstras against frozen lengths (parallel when a pool exists).
         const auto run = [&](std::size_t k) {
+          Scratch& sc = scratch_[k];
           dijkstra_to_targets(g, groups_[g0 + k].src, length_,
-                              groups_[g0 + k].sinks, dist_buf_[k],
-                              parent_buf_[k], tent_buf_[k], target_buf_[k]);
+                              groups_[g0 + k].sinks, sc.dist, sc.parent,
+                              sc.tent, sc.is_target);
         };
-        if (opts.parallel && pool.size() > 1 && g1 - g0 > 1) {
+        if (par && g1 - g0 > 1) {
           pool.parallel_for(0, g1 - g0, run);
         } else {
           for (std::size_t k = 0; k < g1 - g0; ++k) run(k);
@@ -459,8 +480,9 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
         // Sequential routing in source order.
         for (std::size_t k = 0; k < g1 - g0; ++k) {
           const SourceGroup& grp = groups_[g0 + k];
-          const std::vector<double>& dist = dist_buf_[k];
-          const std::vector<int>& parent = parent_buf_[k];
+          Scratch& sc = scratch_[k];
+          const std::vector<double>& dist = sc.dist;
+          const std::vector<int>& parent = sc.parent;
 
           // Deposit demand at sinks; gather alpha.
           for (const auto& [dst, demand] : grp.sinks) {
@@ -470,14 +492,14 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
                   "max_concurrent_flow: demand between disconnected nodes");
             }
             alpha += d_scaled * dist[static_cast<std::size_t>(dst)];
-            node_vol_[static_cast<std::size_t>(dst)] += d_scaled;
+            sc.node_vol[static_cast<std::size_t>(dst)] += d_scaled;
           }
 
           // Single-sink fast path (matching TMs): walk the parent chain.
           if (grp.sinks.size() == 1) {
             const int dst = grp.sinks[0].first;
-            const double vol = node_vol_[static_cast<std::size_t>(dst)];
-            node_vol_[static_cast<std::size_t>(dst)] = 0.0;
+            const double vol = sc.node_vol[static_cast<std::size_t>(dst)];
+            sc.node_vol[static_cast<std::size_t>(dst)] = 0.0;
             for (int v = dst; v != grp.src;) {
               const int pa = parent[static_cast<std::size_t>(v)];
               assert(pa >= 0);
@@ -494,21 +516,21 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
 
           // Push volumes up the shortest-path tree in decreasing-distance
           // order (unsettled nodes keep dist=inf and zero volume).
-          for (std::size_t v = 0; v < n; ++v) order_[v] = static_cast<int>(v);
-          std::sort(order_.begin(), order_.end(), [&dist](int a, int b) {
+          for (std::size_t v = 0; v < n; ++v) sc.order[v] = static_cast<int>(v);
+          std::sort(sc.order.begin(), sc.order.end(), [&dist](int a, int b) {
             return dist[static_cast<std::size_t>(a)] >
                    dist[static_cast<std::size_t>(b)];
           });
           for (std::size_t i = 0; i < n; ++i) {
-            const int v = order_[i];
+            const int v = sc.order[i];
             if (v == grp.src) continue;
-            const double vol = node_vol_[static_cast<std::size_t>(v)];
+            const double vol = sc.node_vol[static_cast<std::size_t>(v)];
             if (vol <= 0.0) continue;
-            node_vol_[static_cast<std::size_t>(v)] = 0.0;
+            sc.node_vol[static_cast<std::size_t>(v)] = 0.0;
             const int pa = parent[static_cast<std::size_t>(v)];
             assert(pa >= 0);
             const int u = g.arc_from(pa);
-            node_vol_[static_cast<std::size_t>(u)] += vol;
+            sc.node_vol[static_cast<std::size_t>(u)] += vol;
             flow_[static_cast<std::size_t>(pa)] += vol;
             const double cap = cap_[static_cast<std::size_t>(pa)];
             const double old_len = length_[static_cast<std::size_t>(pa)];
@@ -516,7 +538,7 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
             length_[static_cast<std::size_t>(pa)] = new_len;
             sum_cl += cap * (new_len - old_len);
           }
-          node_vol_[static_cast<std::size_t>(grp.src)] = 0.0;
+          sc.node_vol[static_cast<std::size_t>(grp.src)] = 0.0;
         }
       }
     }
@@ -541,28 +563,47 @@ GkResult GkSolver::solve(const TrafficMatrix& tm, const GkOptions& opts,
       next_sweep = phase + (phase < 250 ? 5 : phase < 1000 ? 10 : 20);
     }
     if (sweep_now) {
-      double alpha_exact = 0.0;
-      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        const SourceGroup& grp = groups_[gi];
-        if (opts.reuse_trees && grp.sinks.size() == 1) {
-          // Bidirectional exact distance doubles as the alpha term and a
-          // free cache refresh.
-          alpha_exact +=
-              grp.sinks[0].second * demand_scale * rebuild_single(gi);
-          ++dijkstras;
-          continue;
+      // Exact sweep, block-parallel against the frozen end-of-phase
+      // lengths: each group's alpha term lands in its own slot and the sum
+      // reduces in group order after the barrier, so the certificate is
+      // bitwise thread-count invariant.
+      alpha_part_.assign(groups_.size(), 0.0);
+      for (std::size_t g0 = 0; g0 < groups_.size();
+           g0 += static_cast<std::size_t>(block)) {
+        const std::size_t g1 =
+            std::min(groups_.size(), g0 + static_cast<std::size_t>(block));
+        const auto sweep_group = [&](std::size_t k) {
+          const std::size_t gi = g0 + k;
+          const SourceGroup& grp = groups_[gi];
+          Scratch& sc = scratch_[k];
+          if (opts.reuse_trees && grp.sinks.size() == 1) {
+            // Bidirectional exact distance doubles as the alpha term and a
+            // free cache refresh.
+            alpha_part_[gi] =
+                grp.sinks[0].second * demand_scale * rebuild_single(gi, sc);
+            return;
+          }
+          dijkstra_to_targets(g, grp.src, length_, grp.sinks, sc.dist,
+                              sc.parent, sc.tent, sc.is_target);
+          double acc = 0.0;
+          for (const auto& [dst, demand] : grp.sinks) {
+            acc +=
+                demand * demand_scale * sc.dist[static_cast<std::size_t>(dst)];
+          }
+          alpha_part_[gi] = acc;
+          // The sweep's trees are exactly shortest under the end-of-phase
+          // lengths — refresh the session caches for free.
+          if (opts.reuse_trees) build_cache(gi, sc);
+        };
+        if (par && g1 - g0 > 1) {
+          pool.parallel_for(0, g1 - g0, sweep_group);
+        } else {
+          for (std::size_t k = 0; k < g1 - g0; ++k) sweep_group(k);
         }
-        dijkstra_to_targets(g, grp.src, length_, grp.sinks, dist_buf_[0],
-                            parent_buf_[0], tent_buf_[0], target_buf_[0]);
-        ++dijkstras;
-        for (const auto& [dst, demand] : grp.sinks) {
-          alpha_exact += demand * demand_scale *
-                         dist_buf_[0][static_cast<std::size_t>(dst)];
-        }
-        // The sweep's trees are exactly shortest under the end-of-phase
-        // lengths — refresh the session caches for free.
-        if (opts.reuse_trees) build_cache(gi, dist_buf_[0], parent_buf_[0]);
+        dijkstras += static_cast<long>(g1 - g0);
       }
+      double alpha_exact = 0.0;
+      for (const double part : alpha_part_) alpha_exact += part;
       if (alpha_exact > 0.0) {
         res.upper_bound = std::min(res.upper_bound, sum_cl / alpha_exact);
       }

@@ -17,12 +17,18 @@
 //     function upper-bounds OPT by LP duality). We stop when the certified
 //     gap falls below `epsilon` or the classic D(l) >= 1 criterion fires.
 //
-// Parallelism: within a phase, sources are processed in fixed-size blocks;
-// each block's Dijkstras run on the shared pool against frozen lengths and
-// routing/length updates are applied sequentially in source order. Results
-// are deterministic and independent of the actual thread count (the block
-// size is a constant, not the pool size); block staleness only perturbs
-// path choice, never the primal/dual certificates.
+// Parallelism (the threaded-determinism contract): within a phase, sources
+// are processed in fixed-size blocks; each block's shortest-path work —
+// classic Dijkstras, reuse-mode staleness checks and tree rebuilds, and the
+// exact dual sweeps — runs on a thread pool against lengths frozen at the
+// block boundary, each slot writing only its own scratch buffers, and every
+// length/flow update (plus the alpha reduction of the sweeps) is applied
+// serially afterwards in source order. Results are therefore bitwise
+// independent of the thread count — including a 1-worker pool and the fully
+// serial path — because the block partition is a constant, the per-slot
+// arithmetic is identical, and the reductions run in a fixed order; block
+// staleness only perturbs path choice, never the primal/dual certificates.
+// GkOptions::pool selects the pool (null = the process-shared one).
 //
 // GkSolver is the session form used by mcf::ThroughputEngine: it binds to
 // one graph, owns working per-arc capacities (the scenario layer degrades
@@ -45,12 +51,20 @@
 #include "graph/graph.h"
 #include "tm/traffic_matrix.h"
 
+namespace tb {
+class ThreadPool;
+}  // namespace tb
+
 namespace tb::mcf {
 
 struct GkOptions {
   double epsilon = 0.05;       ///< target certified relative gap
   long max_phases = 200'000;   ///< safety cap
-  bool parallel = true;        ///< use the shared thread pool
+  bool parallel = true;        ///< run per-block shortest paths on a pool
+  /// Pool for the per-block parallelism; null means ThreadPool::shared().
+  /// Never affects results (see the determinism contract above) — only
+  /// which threads do the work.
+  ThreadPool* pool = nullptr;
   int block_size = 8;          ///< sources per deterministic Dijkstra block
   /// Stop once the certified gap stops improving (the result still carries
   /// the true residual gap in upper_bound). Disable for strict-epsilon runs.
@@ -83,6 +97,19 @@ struct GkResult {
 class GkSolver {
  public:
   explicit GkSolver(const Graph& g);
+
+  /// Copying clones the session identity — the bound graph, the working
+  /// per-arc capacities, and the warm state (the previous solve's final
+  /// lengths) — but none of the per-solve transient buffers, which every
+  /// solve reassigns before use: a copy's next solve is bitwise the solve
+  /// the original would run. This is what ScenarioFleet forks per
+  /// scenario, so it stays O(arcs), not O(scratch).
+  GkSolver(const GkSolver& other)
+      : g_(other.g_),
+        cap_(other.cap_),
+        length_(other.length_),
+        has_warm_(other.has_warm_) {}
+  GkSolver& operator=(const GkSolver&) = delete;
 
   /// Working capacity of edge `e` (both its arcs). 0 marks the edge failed;
   /// negative capacities are rejected.
@@ -121,6 +148,24 @@ class GkSolver {
     std::vector<double> build_dist;            // aligned with group sinks
   };
 
+  /// Per-slot scratch for the block-parallel shortest-path work: one slot
+  /// per block position, touched by exactly one task at a time, so slots
+  /// never alias across threads and the per-slot arithmetic is identical
+  /// whether a block runs serial or parallel.
+  struct Scratch {
+    std::vector<double> dist;      // settled distances
+    std::vector<double> tent;      // heap keys
+    std::vector<int> parent;
+    std::vector<char> is_target;
+    std::vector<double> node_vol;  // tree-volume push scratch (kept zeroed)
+    std::vector<int> order;
+    std::vector<double> cur_dist;  // cached-tree walk scratch
+    std::vector<double> bi_dist[2];   // bidirectional: tentative labels
+    std::vector<int> bi_par[2];       // path arcs (forward orientation)
+    std::vector<char> bi_settled[2];
+    bool rebuilt = false;  // this slot's group re-ran a shortest-path build
+  };
+
   const Graph* g_;
   std::vector<double> cap_;  ///< working per-arc capacities
 
@@ -129,15 +174,11 @@ class GkSolver {
   std::vector<double> length_;
   std::vector<double> flow_;
   std::vector<double> snap_flow_;
-  std::vector<double> node_vol_;
-  std::vector<int> order_;
   std::vector<SourceGroup> groups_;
-  std::vector<std::vector<double>> dist_buf_;
-  std::vector<std::vector<int>> parent_buf_;
-  std::vector<std::vector<double>> tent_buf_;
-  std::vector<std::vector<char>> target_buf_;
+  std::vector<Scratch> scratch_;       // one slot per block position
   std::vector<TreeCache> tree_cache_;  // reuse_trees mode, one per group
-  std::vector<double> cur_dist_;       // tree-walk scratch
+  std::vector<double> alpha_part_;     // per-group sweep terms, reduced in
+                                       // group order after the barrier
 
   /// Exact shortest s->t path under the current lengths via bidirectional
   /// Dijkstra (reuse_trees mode, single-sink groups): meet-in-the-middle
@@ -147,10 +188,8 @@ class GkSolver {
   /// convention) and returns the exact distance; throws when t is
   /// unreachable.
   double bidirectional_path(int s, int t, double vol,
-                            std::vector<std::pair<int, double>>& arcs_out);
-  std::vector<double> bi_dist_[2];   // tentative labels, fwd/bwd
-  std::vector<int> bi_par_[2];       // path arcs (forward orientation)
-  std::vector<char> bi_settled_[2];
+                            std::vector<std::pair<int, double>>& arcs_out,
+                            Scratch& sc);
   bool has_warm_ = false;
 };
 

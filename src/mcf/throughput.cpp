@@ -83,6 +83,7 @@ ThroughputResult throughput_exact_lp(const Graph& g, const TrafficMatrix& tm,
 
   lp::Options lopts;
   lopts.warm_basis = session.warm_basis;
+  lopts.pool = session.pool;
   const lp::Result sol = lp::solve(prob, lopts);
   if (sol.status != lp::Status::Optimal) {
     throw std::runtime_error(std::string("throughput_exact_lp: LP status ") +

@@ -18,6 +18,10 @@
 #include "tm/traffic_matrix.h"
 #include "topo/network.h"
 
+namespace tb {
+class ThreadPool;
+}  // namespace tb
+
 namespace tb::mcf {
 
 enum class SolverKind { Auto, ExactLP, GargKonemann };
@@ -28,6 +32,13 @@ struct SolveOptions {
   int exact_max_switches = 36;  ///< Auto: LP only at or below this size...
   long exact_max_lp_size = 4096;  ///< ...and only if sources*arcs fits this
   bool parallel = true;
+  /// Intra-solve worker threads: 0 runs on the process-shared pool
+  /// (TOPOBENCH_THREADS), 1 forces the serial path, N > 1 uses a
+  /// process-shared dedicated N-worker pool. By the determinism contracts
+  /// (garg_konemann.h, lp::Options::pool) every setting produces bitwise
+  /// identical results — the knob only chooses which threads do the work.
+  /// The experiment runner seeds it from TOPOBENCH_SOLVER_THREADS.
+  int solver_threads = 0;
 };
 
 /// Per-solver work counters. The two engines do fundamentally different
@@ -39,6 +50,10 @@ struct SolverStats {
   long phases = 0;      ///< GK multiplicative-weights phases
   long dijkstras = 0;   ///< GK shortest-path-tree computations
   bool warm_start = false;  ///< solve was seeded from a previous solution
+  /// The solve's SolveOptions::solver_threads configuration (0 = shared
+  /// pool). The requested value, not a measured worker count, so recorded
+  /// results stay byte-identical across machines and pool sizes.
+  int solver_threads = 0;
 };
 
 struct ThroughputResult {
@@ -79,6 +94,9 @@ struct ExactLpSession {
   std::vector<int>* basis_out = nullptr;
   /// When set, receives whether the solve actually started warm.
   bool* warm_started_out = nullptr;
+  /// Pool for the simplex's deterministic parallel scans (see
+  /// lp::Options::pool); null keeps them serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// Exact LP on a bare graph (used by tests and the theory benches).

@@ -12,7 +12,13 @@
 // inline instead of submitting, so a worker never blocks on futures that
 // only another worker could satisfy — the classic self-deadlock of
 // fixed-size pools. The outer level already saturates the pool, so the
-// inner level losing parallelism costs nothing.
+// inner level losing parallelism costs nothing. The guard is
+// pool-AGNOSTIC (in_worker() is a process-wide thread_local): a worker of
+// pool A re-entering parallel_for on a different pool B also inlines,
+// which is what lets ScenarioFleet cells on the shared pool drive engines
+// that own dedicated solver pools without cross-pool deadlock or
+// reordering (pinned by the ThreadPool.NestedParallelForAcrossDistinctPools
+// regression test).
 #pragma once
 
 #include <condition_variable>

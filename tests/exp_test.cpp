@@ -328,6 +328,28 @@ TEST(Runner, FailureCellsFillScenarioColumnsDeterministically) {
   }
 }
 
+TEST(Runner, FailureCacheKeysIncludeScenarioAxisShape) {
+  // A failure cell's TM comes from its group's scenario-0 cell stream, so
+  // its result depends on the scenario-axis shape, not just its own
+  // scenario label. Sweeps A = [p, q, r] and B = [q, p] place label p at
+  // the same flat index (group 1, indices 3 vs 3) with the same cell seed
+  // but different group TM streams — without the scenario list in the
+  // cache fingerprint, B would be answered with A's row. Random-matching
+  // TMs make the group stream actually matter.
+  exp::Sweep a = tiny_sweep(/*trials=*/0);
+  a.tms = {exp::random_matching_tm(1), exp::random_matching_tm(2)};
+  a.scenarios = {exp::degrade_scenario(0.5), exp::degrade_scenario(0.8),
+                 exp::degrade_scenario(0.9)};
+  exp::Sweep b = a;
+  b.scenarios = {exp::degrade_scenario(0.8), exp::degrade_scenario(0.5)};
+
+  exp::Runner shared_runner;
+  (void)shared_runner.run(a);
+  const std::string b_after_a = shared_runner.run(b).to_csv();
+  exp::Runner fresh_runner;
+  EXPECT_EQ(fresh_runner.run(b).to_csv(), b_after_a);
+}
+
 TEST(Runner, WarmChainsAreDeterministicAndFlagged) {
   exp::Sweep sweep = tiny_sweep(/*trials=*/0);
   sweep.solve.kind = mcf::SolverKind::GargKonemann;  // exercise GK sessions

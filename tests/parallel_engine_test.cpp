@@ -1,0 +1,207 @@
+// Threaded-determinism battery for the throughput stack: every
+// SolveOptions::solver_threads setting (serial, 2- and 4-worker engine
+// pools, the shared pool) must produce bitwise identical throughput
+// values, certificates, and SolverStats — across the topology registry,
+// on both solver paths (GK and ExactLP), through warm session chains, and
+// when ScenarioFleet batches nest inside runner parallelism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "exp/runner.h"
+#include "mcf/engine.h"
+#include "pool_test_env.h"
+#include "tm/synthetic.h"
+#include "topo/hypercube.h"
+#include "topo/jellyfish.h"
+#include "util/thread_pool.h"
+
+namespace tb {
+namespace {
+
+[[maybe_unused]] const int kForcePoolThreads = test_env::force_pool_threads();
+
+mcf::SolveOptions gk_opts(int solver_threads, double eps = 0.1) {
+  mcf::SolveOptions o;
+  o.kind = mcf::SolverKind::GargKonemann;
+  o.epsilon = eps;
+  o.solver_threads = solver_threads;
+  return o;
+}
+
+void expect_same_result(const mcf::ThroughputResult& a,
+                        const mcf::ThroughputResult& b,
+                        const std::string& what) {
+  // Bitwise: == on the doubles is the contract under test.
+  EXPECT_EQ(a.throughput, b.throughput) << what;
+  EXPECT_EQ(a.upper_bound, b.upper_bound) << what;
+  EXPECT_EQ(a.solver, b.solver) << what;
+  EXPECT_EQ(a.stats.pivots, b.stats.pivots) << what;
+  EXPECT_EQ(a.stats.phases, b.stats.phases) << what;
+  EXPECT_EQ(a.stats.dijkstras, b.stats.dijkstras) << what;
+  EXPECT_EQ(a.stats.warm_start, b.stats.warm_start) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Cold and warm GK solves across the registry, 1 vs 2 vs 4 solver threads.
+
+class ThreadedEquivalence : public ::testing::TestWithParam<Family> {};
+
+TEST_P(ThreadedEquivalence, ColdAndWarmGkSolvesAreBitwiseIdentical) {
+  const Network net = family_representative(GetParam(), 24, 1);
+  const TrafficMatrix a2a = all_to_all(net);
+  const TrafficMatrix rm1 = random_matching(net, 1, 5);
+  // One engine per thread count, each running the same cold -> warm chain
+  // (the warm solve exercises the reuse-trees parallel path).
+  struct Chain {
+    mcf::ThroughputResult cold;
+    mcf::ThroughputResult warm;
+  };
+  const auto run_chain = [&](int threads) {
+    mcf::ThroughputEngine engine(net);
+    Chain c;
+    c.cold = engine.solve(a2a, gk_opts(threads));
+    c.warm = engine.warm_solve(rm1, gk_opts(threads));
+    return c;
+  };
+  const Chain serial = run_chain(1);
+  EXPECT_GT(serial.cold.throughput, 0.0);
+  EXPECT_EQ(serial.cold.stats.solver_threads, 1);
+  for (const int threads : {2, 4}) {
+    const Chain threaded = run_chain(threads);
+    const std::string what =
+        net.name + " @ " + std::to_string(threads) + " threads";
+    expect_same_result(serial.cold, threaded.cold, what + " (cold)");
+    expect_same_result(serial.warm, threaded.warm, what + " (warm)");
+    EXPECT_EQ(threaded.warm.stats.solver_threads, threads);
+  }
+  // The shared pool (solver_threads = 0) is the same algorithm again.
+  mcf::SolveOptions shared = gk_opts(0);
+  mcf::ThroughputEngine engine(net);
+  expect_same_result(serial.cold, engine.solve(a2a, shared),
+                     net.name + " (shared pool)");
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, ThreadedEquivalence,
+                         ::testing::ValuesIn(all_families()),
+                         [](const ::testing::TestParamInfo<Family>& info) {
+                           return family_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// ExactLP: the parallel pricing/BTRAN/FTRAN scans must pick the same pivots.
+
+TEST(ThreadedEquivalence, ExactLpSolveIsBitwiseIdenticalAcrossThreadCounts) {
+  // hypercube(4) x A2A is large enough (2k+ columns, 368 rows) to clear
+  // the simplex's parallel-scan gates, so the ranged pricing actually runs.
+  const Network hc = make_hypercube(4);
+  const TrafficMatrix tm = all_to_all(hc);
+  mcf::SolveOptions opts;
+  opts.kind = mcf::SolverKind::ExactLP;
+  const auto solve_with = [&](int threads) {
+    opts.solver_threads = threads;
+    mcf::ThroughputEngine engine(hc);
+    return engine.solve(tm, opts);
+  };
+  const mcf::ThroughputResult serial = solve_with(1);
+  ASSERT_EQ(serial.solver, "exact-lp");
+  EXPECT_GT(serial.stats.pivots, 0);
+  for (const int threads : {2, 4, 0}) {
+    expect_same_result(serial, solve_with(threads),
+                       "exact-lp @ " + std::to_string(threads));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioFleet == one-at-a-time degraded_throughput, bitwise.
+
+TEST(ScenarioFleet, MatchesOneAtATimeDegradedThroughputBitwise) {
+  const Network jf = make_jellyfish(20, 4, 1, 33);
+  const TrafficMatrix tm = random_matching(jf, 1, 5);
+  const mcf::SolveOptions solve = gk_opts(0, 0.05);
+
+  std::vector<mcf::ScenarioSpec> specs(4);
+  specs[0].failed_edges = {0, 1, 2};
+  specs[1].random_edge_fraction = 0.15;
+  specs[1].seed = 7;
+  specs[2].capacity_factor = 0.6;
+  specs[3].failed_nodes = {1};
+
+  const std::vector<DegradedResult> batch =
+      degraded_throughput_batch(jf, tm, specs, solve);
+  ASSERT_EQ(batch.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const DegradedResult one = degraded_throughput(jf, tm, specs[i], solve);
+    EXPECT_EQ(batch[i].baseline, one.baseline) << i;
+    EXPECT_EQ(batch[i].degraded, one.degraded) << i;
+    EXPECT_EQ(batch[i].drop, one.drop) << i;
+    EXPECT_EQ(batch[i].failed_links, one.failed_links) << i;
+    EXPECT_EQ(batch[i].stats.phases, one.stats.phases) << i;
+    EXPECT_EQ(batch[i].stats.dijkstras, one.stats.dijkstras) << i;
+    EXPECT_EQ(batch[i].stats.warm_start, one.stats.warm_start) << i;
+  }
+}
+
+TEST(ScenarioFleet, ForkSessionRefusesActiveScenario) {
+  const Network jf = make_jellyfish(12, 3, 1, 2);
+  mcf::ThroughputEngine engine(jf);
+  mcf::ScenarioSpec spec;
+  spec.failed_edges = {0};
+  engine.apply_scenario(spec);
+  EXPECT_THROW((void)engine.fork_session(), std::logic_error);
+  engine.clear_scenario();
+  EXPECT_NO_THROW((void)engine.fork_session());
+}
+
+// ---------------------------------------------------------------------------
+// The full nesting stack: runner cells x ScenarioFleet x intra-solve
+// threading. Pins the parallel_for nested-submit inlining — no deadlock,
+// no reordering — by requiring byte-identical CSV for every combination of
+// runner parallelism and solver_threads.
+
+TEST(ScenarioFleet, NestedInRunnerFailuresSweepEmitsIdenticalCsv) {
+  exp::Sweep sweep;
+  sweep.solve = gk_opts(0, 0.1);
+  sweep.base_seed = 3;
+  sweep.topologies = {exp::instance_spec(make_jellyfish(16, 4, 1, 9)),
+                      exp::instance_spec(make_hypercube(3))};
+  sweep.tms = {exp::a2a_tm(), exp::random_matching_tm(1)};
+  sweep.scenarios = exp::random_failure_scenarios({0.1, 0.2});
+  sweep.scenarios.push_back(exp::degrade_scenario(0.5));
+
+  std::string reference;
+  for (const bool parallel_cells : {false, true}) {
+    for (const int threads : {1, 4}) {
+      sweep.solve.solver_threads = threads;
+      exp::Runner runner(parallel_cells);
+      const std::string csv = runner.run(sweep).to_csv();
+      // The configuration echo column is the only allowed difference.
+      exp::ResultSet rs = exp::ResultSet::from_csv(csv);
+      for (const exp::CellResult& r : rs.rows()) {
+        EXPECT_EQ(r.solver_threads, threads);
+      }
+      // Normalize the echo column before the byte comparison.
+      std::string normalized;
+      for (exp::CellResult r : rs.rows()) {
+        r.solver_threads = 0;
+        exp::ResultSet one;
+        one.add(std::move(r));
+        const std::string cell_csv = one.to_csv();
+        normalized += cell_csv.substr(cell_csv.find('\n') + 1);
+      }
+      if (reference.empty()) {
+        reference = normalized;
+      } else {
+        EXPECT_EQ(normalized, reference)
+            << "cells=" << parallel_cells << " threads=" << threads;
+      }
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+}  // namespace
+}  // namespace tb

@@ -7,6 +7,7 @@
 #include <string>
 #include <tuple>
 
+#include "core/evaluator.h"
 #include "core/registry.h"
 #include "cuts/sparsest_cut.h"
 #include "graph/algorithms.h"
@@ -15,6 +16,7 @@
 #include "tm/synthetic.h"
 #include "topo/hypercube.h"
 #include "topo/jellyfish.h"
+#include "util/rng.h"
 
 namespace tb {
 namespace {
@@ -199,6 +201,86 @@ TEST(FailureInjection, DisconnectedDemandThrows) {
   tm.demands = {{0, 3, 1.0}};
   EXPECT_THROW(mcf::max_concurrent_flow(g, tm), std::runtime_error);
 }
+
+// ---------------------------------------------------------------------------
+// Randomized invariants on seeded instances: every stream below derives
+// from mix_seed so the sweep is reproducible bit-for-bit, and each
+// invariant is stated against *certified* quantities, so the assertions
+// are exact (up to fp noise) rather than gap-padded heuristics.
+
+class SeededInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeededInvariants, ThroughputNeverExceedsCutUpperBound) {
+  const auto stream = static_cast<std::uint64_t>(GetParam());
+  const std::uint64_t seed = mix_seed(0xC07, stream);
+  const Network net =
+      make_jellyfish(14 + 2 * GetParam(), 4, 1, seed);
+  const TrafficMatrix tm =
+      random_matching(net, 1 + GetParam() % 3, mix_seed(seed, 1));
+  mcf::SolveOptions opts;
+  opts.epsilon = 0.05;
+  const double thr = mcf::compute_throughput(net, tm, opts).throughput;
+  // Any CutBound is an upper bound on the optimum, hence on every
+  // certified-feasible value — the whole battery must dominate.
+  CutBoundOptions cb;
+  cb.seed = mix_seed(seed, 2);
+  const CutBoundResult cut = cut_upper_bound(net, tm, cb);
+  EXPECT_LE(thr, cut.bound * (1.0 + 1e-9))
+      << net.name << " via " << cut.method;
+}
+
+TEST_P(SeededInvariants, ThroughputMonotoneUnderCapacityIncrease) {
+  const std::uint64_t seed = mix_seed(0xCAFE, GetParam());
+  const Network net = make_jellyfish(16, 4, 1, seed);
+  const TrafficMatrix tm = random_matching(net, 1, mix_seed(seed, 1));
+  mcf::GkOptions opts;
+  opts.epsilon = 0.05;
+  mcf::GkSolver solver(net.graph);
+  const mcf::GkResult before = solver.solve(tm, opts);
+  // Raise a seeded subset of edge capacities: every flow feasible before
+  // stays feasible, so OPT cannot drop — the new certified upper bound
+  // must dominate the old certified feasible value exactly.
+  Rng rng(mix_seed(seed, 2));
+  for (int e = 0; e < net.graph.num_edges(); ++e) {
+    if (rng.next_bool(0.5)) {
+      solver.set_edge_capacity(e, solver.edge_capacity(e) * 2.0);
+    }
+  }
+  const mcf::GkResult after = solver.solve(tm, opts);
+  EXPECT_GE(after.upper_bound, before.throughput * (1.0 - 1e-9)) << net.name;
+}
+
+TEST_P(SeededInvariants, ThroughputInvariantUnderArcPermutation) {
+  // The optimum is a property of the network, not of arc ids: rebuilding
+  // the same topology with a permuted edge insertion order must not move
+  // the exact value, and GK's certified intervals must still overlap.
+  const std::uint64_t seed = mix_seed(0xD1CE, GetParam());
+  const Network net = make_jellyfish(12, 3, 1, seed);
+  const TrafficMatrix tm = random_matching(net, 1, mix_seed(seed, 1));
+
+  Rng rng(mix_seed(seed, 2));
+  const std::vector<int> perm = rng.permutation(net.graph.num_edges());
+  Graph shuffled(net.graph.num_nodes());
+  for (const int e : perm) {
+    shuffled.add_edge(net.graph.edge_u(e), net.graph.edge_v(e),
+                      net.graph.edge_cap(e));
+  }
+  shuffled.finalize();
+
+  const double exact = mcf::throughput_exact_lp(net.graph, tm).throughput;
+  const double exact_perm = mcf::throughput_exact_lp(shuffled, tm).throughput;
+  EXPECT_NEAR(exact_perm / exact, 1.0, 1e-7);
+
+  mcf::GkOptions opts;
+  opts.epsilon = 0.05;
+  opts.plateau_guard = false;
+  const mcf::GkResult gk = mcf::max_concurrent_flow(net.graph, tm, opts);
+  const mcf::GkResult gk_perm = mcf::max_concurrent_flow(shuffled, tm, opts);
+  EXPECT_LE(gk.throughput, gk_perm.upper_bound * (1.0 + 1e-9));
+  EXPECT_LE(gk_perm.throughput, gk.upper_bound * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, SeededInvariants, ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace tb

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <set>
@@ -203,6 +204,31 @@ TEST(ThreadPool, NestedParallelForRunsInlineOnWorkers) {
   });
   EXPECT_EQ(outer.load(), 4);
   EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForAcrossDistinctPoolsRunsInline) {
+  // The fleet-inside-runner shape: cells run on the shared pool while the
+  // solver targets a dedicated solver pool. in_worker() is pool-agnostic:
+  // a worker of pool A re-entering parallel_for on pool B must inline —
+  // never submit — or A's workers could block on futures only B's (also
+  // saturated, also nested) workers might satisfy. Every index must run
+  // exactly once, in order within each outer slot (no reordering).
+  ThreadPool outer_pool(2);
+  ThreadPool inner_pool(2);
+  constexpr std::size_t kOuter = 4;
+  constexpr std::size_t kInner = 8;
+  std::array<std::array<int, kInner>, kOuter> sequence{};
+  outer_pool.parallel_for(0, kOuter, [&](std::size_t i) {
+    int next = 0;
+    inner_pool.parallel_for(0, kInner, [&](std::size_t j) {
+      sequence[i][j] = next++;  // inline => strictly sequential per slot
+    });
+  });
+  for (std::size_t i = 0; i < kOuter; ++i) {
+    for (std::size_t j = 0; j < kInner; ++j) {
+      EXPECT_EQ(sequence[i][j], static_cast<int>(j)) << i;
+    }
+  }
 }
 
 TEST(ThreadPool, SingleWorkerRunsInline) {
