@@ -69,7 +69,10 @@ void run_panel(const std::string& panel, std::vector<Network> nets,
   }
   exp::Runner runner;
   const exp::ResultSet rs = runner.run(sweep);
-  if (exp::csv_mode()) {
+  // A sharded run (TOPOBENCH_SHARD=i/n) holds a partial grid: emit the
+  // mergeable slice — the derived panel table needs every cell. Note a
+  // sharded fig02 shards each panel's grid independently.
+  if (exp::csv_mode() || rs.slice()) {
     rs.emit(std::cout, caption);
     return;
   }

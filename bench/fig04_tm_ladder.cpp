@@ -39,7 +39,9 @@ int main() {
 
   exp::Runner runner;
   const exp::ResultSet rs = runner.run(sweep);
-  if (exp::csv_mode()) {
+  // A sharded run (TOPOBENCH_SHARD=i/n) holds a partial grid: emit the
+  // mergeable slice — the derived figure table needs every cell.
+  if (exp::csv_mode() || rs.slice()) {
     rs.emit(std::cout, caption);
     return 0;
   }

@@ -26,10 +26,18 @@
 #include <vector>
 
 #include "exp/runner.h"
+#include "exp/shard.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace tb;
+  // The serial-vs-threaded comparison needs the whole grid in one process;
+  // a sharded slice would break it, so fail loudly instead of mismeasuring.
+  if (exp::env_shard()) {
+    std::cerr << "parallel_scaling: TOPOBENCH_SHARD is not supported (the "
+                 "scaling comparison needs the whole grid)\n";
+    return 1;
+  }
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
   const double eps = exp::env_eps(0.05);
   const int target =

@@ -20,10 +20,18 @@
 #include <string>
 
 #include "exp/runner.h"
+#include "exp/shard.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace tb;
+  // The cold/warm comparison indexes the whole grid in one process; a
+  // sharded slice would break it, so fail loudly instead of mismeasuring.
+  if (exp::env_shard()) {
+    std::cerr << "warmstart_ladder: TOPOBENCH_SHARD is not supported (the "
+                 "cold-vs-warm comparison needs the whole grid)\n";
+    return 1;
+  }
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_warmstart.json";
   const double eps = exp::env_eps(0.05);
   const int target =

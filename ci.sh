@@ -10,7 +10,7 @@ cd "$(dirname "$0")"
 if command -v clang-format >/dev/null 2>&1; then
   if ! clang-format --dry-run --Werror \
       src/*/*.h src/*/*.cpp tests/*.h tests/*.cpp bench/*.h bench/*.cpp \
-      examples/*.cpp; then
+      examples/*.cpp tools/*.cpp; then
     echo "warning: clang-format found style drift (non-fatal)" >&2
   fi
 fi

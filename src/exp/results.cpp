@@ -266,8 +266,12 @@ ResultSet ResultSet::from_csv(const std::string& csv) {
 }
 
 void ResultSet::emit(std::ostream& os, const std::string& caption) const {
-  if (csv_mode()) {
-    os << "# " << caption << '\n' << to_csv();
+  // A slice is only meaningful as CSV (the "#!" header + mergeable rows),
+  // so a sharded run emits CSV even without TOPOBENCH_CSV=1.
+  if (csv_mode() || slice_) {
+    os << "# " << caption << '\n';
+    if (slice_) os << slice_header_line(*slice_) << '\n';
+    os << to_csv();
   } else {
     Table table({"cell", "topology", "servers", "switches", "tm", "seed",
                  "solver", "trials", "throughput", "random_mean",

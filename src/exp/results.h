@@ -12,8 +12,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "exp/shard.h"
 
 namespace tb::exp {
 
@@ -77,12 +80,22 @@ class ResultSet {
   std::string to_json() const;
   static ResultSet from_csv(const std::string& csv);
 
-  /// CSV to `os` when TOPOBENCH_CSV=1 (prefixed "# caption"), otherwise an
-  /// aligned human-readable table.
+  /// Slice identity of a sharded run (set by Runner::run when a ShardSpec
+  /// is in effect): emit writes it as a "#!" header line between the
+  /// caption and the CSV header, making the slice mergeable and
+  /// machine-checkable (see shard.h). Absent on unsharded runs, whose
+  /// emission stays byte-identical to pre-sharding output.
+  const std::optional<SliceMeta>& slice() const noexcept { return slice_; }
+  void set_slice(const SliceMeta& meta) { slice_ = meta; }
+
+  /// CSV to `os` when TOPOBENCH_CSV=1 or this is a slice (prefixed
+  /// "# caption" and, for slices, the "#!" header), otherwise an aligned
+  /// human-readable table.
   void emit(std::ostream& os, const std::string& caption) const;
 
  private:
   std::vector<CellResult> rows_;
+  std::optional<SliceMeta> slice_;
 };
 
 /// True when TOPOBENCH_CSV=1: drivers print the uniform ResultSet CSV

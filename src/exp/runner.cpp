@@ -251,11 +251,33 @@ void Runner::eval_failure_group(const Sweep& sweep,
 }
 
 ResultSet Runner::run(const Sweep& sweep) {
+  if (const std::optional<ShardSpec> shard = env_shard()) {
+    return run_impl(sweep, *shard, /*slice=*/true);
+  }
+  return run_impl(sweep, ShardSpec{}, /*slice=*/false);
+}
+
+ResultSet Runner::run(const Sweep& sweep, const RunOptions& opts) {
+  if (!opts.shard.valid()) {
+    throw std::invalid_argument(
+        "Runner::run: invalid shard spec " + std::to_string(opts.shard.index) +
+        "/" + std::to_string(opts.shard.count) + " (need 0 <= i < n)");
+  }
+  return run_impl(sweep, opts.shard, /*slice=*/true);
+}
+
+ResultSet Runner::run_impl(const Sweep& sweep, const ShardSpec& shard,
+                           bool slice) {
   if (sweep.topologies.empty() || sweep.tms.empty()) {
     throw std::invalid_argument("Runner::run: empty sweep");
   }
   validate_modes(sweep);
   const std::vector<Cell> cells = expand(sweep);
+  // The shard's contiguous slice of the flat grid. Every structure below
+  // keeps using *global* cell indices (seeds, cache keys, fleet group
+  // floors), which is what makes a shard's rows bitwise the corresponding
+  // rows of the unsharded run.
+  const CellRange range = shard_range(cells.size(), shard);
   // TOPOBENCH_SOLVER_THREADS seeds the intra-solve threading knob when the
   // sweep leaves it at 0; never part of cache identity (results are
   // thread-invariant by the solver determinism contracts).
@@ -269,7 +291,8 @@ ResultSet Runner::run(const Sweep& sweep) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!sweep.warm_start) {
-      for (const Cell& c : cells) {
+      for (std::size_t index = range.lo; index < range.hi; ++index) {
+        const Cell& c = cells[index];
         const std::string key = cache_key(
             sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
             scenario_label_of(sweep, c), mix_seed(sweep.base_seed, c.index),
@@ -289,9 +312,15 @@ ResultSet Runner::run(const Sweep& sweep) {
     } else {
       // Warm mode: a topology chain is answered from the cache only when
       // every one of its cells hits — re-solving part of a chain would
-      // change the warm seeds of the rest.
+      // change the warm seeds of the rest. A chain a shard's range merely
+      // intersects still runs (or hits) whole: its in-range cells' values
+      // depend on the chain prefix, so trimming the chain to the range
+      // would change bytes.
       const std::size_t per_topo = sweep.tms.size();
-      for (std::size_t t = 0; t < sweep.topologies.size(); ++t) {
+      const std::size_t first_topo = range.lo / per_topo;
+      const std::size_t last_topo =
+          range.hi == range.lo ? first_topo : (range.hi - 1) / per_topo + 1;
+      for (std::size_t t = first_topo; t < last_topo; ++t) {
         bool all_hit = true;
         for (std::size_t m = 0; m < per_topo && all_hit; ++m) {
           const std::size_t index = t * per_topo + m;
@@ -424,9 +453,58 @@ ResultSet Runner::run(const Sweep& sweep) {
     }
   }
 
+  // Only the shard's own range is returned (warm chains may have evaluated
+  // beyond it — those cells live in the cache, not the slice).
   ResultSet rs;
-  for (CellResult& r : out) rs.add(std::move(r));
+  for (std::size_t index = range.lo; index < range.hi; ++index) {
+    rs.add(std::move(out[index]));
+  }
+  if (slice) {
+    SliceMeta meta;
+    meta.grid = grid_fingerprint(sweep);
+    meta.total = cells.size();
+    meta.shard = shard;
+    meta.lo = range.lo;
+    meta.hi = range.hi;
+    rs.set_slice(meta);
+  }
   return rs;
+}
+
+std::uint64_t grid_fingerprint(const Sweep& sweep) {
+  // Canonical structural string, hashed FNV-1a. config_fingerprint already
+  // covers the solver / cut-bound / warm / fleet configuration (including
+  // the TM chain and scenario lists where they affect values); the axis
+  // label lists are folded in unconditionally because they define the grid
+  // itself. Distinct field separators keep e.g. a topology list ["a,b"]
+  // distinct from ["a","b"].
+  std::string s = "topobench-grid-v1\x1d";
+  s += std::to_string(sweep.base_seed);
+  s += '\x1d';
+  s += std::to_string(sweep.trials);
+  s += '\x1d';
+  s += config_fingerprint(sweep);
+  s += '\x1d';
+  for (const TopoSpec& topo : sweep.topologies) {
+    s += topo.label;
+    s += '\x1e';
+  }
+  s += '\x1d';
+  for (const TmSpec& tm : sweep.tms) {
+    s += tm.label;
+    s += '\x1e';
+  }
+  s += '\x1d';
+  for (const ScenarioPoint& p : sweep.scenarios) {
+    s += p.label;
+    s += '\x1e';
+  }
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
 }
 
 Table relative_pivot(const ResultSet& rs, const Sweep& sweep) {

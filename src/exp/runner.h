@@ -53,6 +53,18 @@
 // their shared prefix. Inserting topologies or changing the TM list shifts
 // later indices and re-evaluates those cells. Labels are trusted as
 // identities (see sweep.h).
+//
+// Sharding (TOPOBENCH_SHARD=i/n, or RunOptions::shard programmatically):
+// the run evaluates and returns only the cells of shard i's contiguous
+// range of the flat grid (see shard.h for the partition contract) and the
+// ResultSet carries a SliceMeta so emission is a mergeable slice. Cells
+// keep their global flat indices everywhere — seeding, cache keys, fleet
+// group floors — so a shard's rows are bitwise the corresponding rows of
+// the unsharded run for every sweep mode. Warm-start chains are the one
+// place a shard evaluates beyond its range: a chain intersecting the range
+// runs whole (a chain cell's value depends on its chain prefix), but only
+// in-range cells are returned; the extra cells land in the cache.
+// tools/topobench_merge reassembles slices into the unsharded bytes.
 #pragma once
 
 #include <cstddef>
@@ -61,6 +73,7 @@
 #include <unordered_map>
 
 #include "exp/results.h"
+#include "exp/shard.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
@@ -69,6 +82,15 @@ namespace tb::exp {
 struct CacheStats {
   std::size_t hits = 0;    ///< cells answered from the cache
   std::size_t misses = 0;  ///< cells actually evaluated
+};
+
+/// Per-run execution options (as opposed to the Sweep, which describes the
+/// grid itself and is part of result identity).
+struct RunOptions {
+  /// Evaluate only this shard of the flat cell grid and return a slice
+  /// (ResultSet::slice is set). The default {0, 1} is the whole grid —
+  /// still emitted as a (trivially mergeable) slice.
+  ShardSpec shard;
 };
 
 class Runner {
@@ -81,9 +103,17 @@ class Runner {
   Runner& operator=(const Runner&) = delete;
 
   /// Evaluate every cell of `sweep` and return results in cell order.
-  /// Throws std::invalid_argument on an empty grid or an invalid mode
-  /// combination (see the failures / warm-start contracts above).
+  /// Honors TOPOBENCH_SHARD=i/n (throwing std::invalid_argument when it is
+  /// set but malformed — a fleet must fail loudly, not silently run the
+  /// whole grid per machine). Throws std::invalid_argument on an empty
+  /// grid or an invalid mode combination (see the failures / warm-start
+  /// contracts above).
   ResultSet run(const Sweep& sweep);
+
+  /// Programmatic sharding: evaluate only opts.shard's cell range and
+  /// return it as a slice (ignores TOPOBENCH_SHARD). Throws
+  /// std::invalid_argument on an invalid shard spec.
+  ResultSet run(const Sweep& sweep, const RunOptions& opts);
 
   const CacheStats& cache_stats() const noexcept { return stats_; }
 
@@ -106,11 +136,25 @@ class Runner {
                           const std::vector<std::size_t>& cell_indices,
                           std::vector<CellResult>& out) const;
 
+  /// The shared implementation: evaluate `shard`'s cell range (global
+  /// indices throughout) and, when `slice` is true, stamp the returned
+  /// ResultSet with its SliceMeta.
+  ResultSet run_impl(const Sweep& sweep, const ShardSpec& shard, bool slice);
+
   bool parallel_;
   std::mutex mutex_;
   std::unordered_map<std::string, CellResult> cache_;
   CacheStats stats_;
 };
+
+/// Stable structural identity of a sweep's flat grid — the slice-header
+/// fingerprint that stops slices of different grids from merging. Folds in
+/// the base seed, trial count, solver / cut-bound / warm / scenario
+/// configuration, and the ordered topology, TM, and scenario label lists;
+/// anything that changes the grid's cells or their values changes the
+/// fingerprint. (Like cache keys, labels are trusted as identities, and
+/// scheduling knobs — threads, pool shape — are deliberately excluded.)
+std::uint64_t grid_fingerprint(const Sweep& sweep);
 
 /// Human-readable label of a solver configuration ("auto(eps=0.1)",
 /// "exact-lp", "gk(eps=0.03)"); part of the result rows and cache key.

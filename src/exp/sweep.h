@@ -148,6 +148,9 @@ ScenarioPoint degrade_scenario(double factor);
 //   TOPOBENCH_SOLVER_THREADS — intra-solve worker threads (0 = shared
 //                              pool, 1 = serial, N = dedicated pool;
 //                              never changes values — see runner.h)
+//   TOPOBENCH_SHARD=i/n      — evaluate only shard i of n of the flat cell
+//                              grid and emit a mergeable slice (see
+//                              shard.h; malformed values are a hard error)
 
 double env_eps(double fallback);
 /// TOPOBENCH_TRIALS in [1, 100]; out-of-range or unset means `fallback`.

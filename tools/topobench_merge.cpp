@@ -1,0 +1,49 @@
+// topobench_merge: reassemble sharded sweep slices into the unsharded CSV.
+//
+// Usage:
+//   topobench_merge slice0.csv slice1.csv ...   # slices as files
+//   cat shard_*.csv | topobench_merge           # slices on stdin
+//
+// Slices may arrive in any order. The merged output on stdout is
+// byte-identical to what the unsharded run would have emitted; any
+// violation of the merge contract — overlapping or missing cell ranges,
+// mismatched grid fingerprints / captions / CSV headers, rows that
+// disagree with their slice's declared range — is a hard error on stderr
+// with exit status 1 (see src/exp/shard.h for the format and contract).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "exp/shard.h"
+
+int main(int argc, char** argv) {
+  std::ostringstream input;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string path = argv[i];
+      if (path == "-h" || path == "--help") {
+        std::cout << "usage: topobench_merge [slice.csv ...] "
+                     "(reads stdin when no files are given)\n";
+        return 0;
+      }
+      std::ifstream file(path, std::ios::binary);
+      if (!file) {
+        std::cerr << "topobench_merge: cannot open " << path << '\n';
+        return 1;
+      }
+      input << file.rdbuf();
+    }
+  } else {
+    input << std::cin.rdbuf();
+  }
+
+  try {
+    std::istringstream in(input.str());
+    std::cout << tb::exp::merge_slices(in);
+  } catch (const std::exception& e) {
+    std::cerr << "topobench_merge: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
