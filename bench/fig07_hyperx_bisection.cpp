@@ -11,6 +11,7 @@
 #include "core/evaluator.h"
 #include "tm/synthetic.h"
 #include "topo/hyperx.h"
+#include "util/rng.h"
 
 int main() {
   using namespace tb;
@@ -26,7 +27,7 @@ int main() {
       RelativeOptions opts;
       opts.random_trials = trials;
       opts.solve.epsilon = eps;
-      opts.seed = 4000 + static_cast<std::uint64_t>(beta * 100);
+      opts.seed = mix_seed(4000, static_cast<std::uint64_t>(beta * 100));
       const RelativeResult lm =
           relative_throughput(net, longest_matching(net), opts);
       table.add_row({Table::fmt(beta, 1), std::to_string(net.total_servers()),

@@ -13,6 +13,7 @@
 #include "core/evaluator.h"
 #include "tm/synthetic.h"
 #include "topo/longhop.h"
+#include "util/rng.h"
 
 int main() {
   using namespace tb;
@@ -27,7 +28,7 @@ int main() {
       RelativeOptions opts;
       opts.random_trials = trials;
       opts.solve.epsilon = eps;
-      opts.seed = 5000 + static_cast<std::uint64_t>(extra);
+      opts.seed = mix_seed(5000, static_cast<std::uint64_t>(extra));
       const RelativeResult lm =
           relative_throughput(net, longest_matching(net), opts);
       table.add_row({std::to_string(extra), std::to_string(net.total_servers()),

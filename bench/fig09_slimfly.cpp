@@ -13,6 +13,7 @@
 #include "tm/synthetic.h"
 #include "topo/jellyfish.h"
 #include "topo/slimfly.h"
+#include "util/rng.h"
 
 int main() {
   using namespace tb;
@@ -26,13 +27,13 @@ int main() {
     RelativeOptions opts;
     opts.random_trials = trials;
     opts.solve.epsilon = eps;
-    opts.seed = 6000 + static_cast<std::uint64_t>(q);
+    opts.seed = mix_seed(6000, static_cast<std::uint64_t>(q));
     const RelativeResult lm =
         relative_throughput(net, longest_matching(net), opts);
     const RelativeResult a2a = relative_throughput(net, all_to_all(net), opts);
 
     const double own_len = average_shortest_path_length(net.graph);
-    const Network rnd = make_same_equipment_random(net, opts.seed + 99);
+    const Network rnd = make_same_equipment_random(net, mix_seed(opts.seed, 99));
     const double rnd_len = average_shortest_path_length(rnd.graph);
 
     table.add_row({std::to_string(q), std::to_string(net.total_servers()),

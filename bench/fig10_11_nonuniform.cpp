@@ -12,6 +12,7 @@
 #include "core/evaluator.h"
 #include "core/registry.h"
 #include "tm/synthetic.h"
+#include "util/rng.h"
 
 int main() {
   using namespace tb;
@@ -31,7 +32,7 @@ int main() {
       RelativeOptions opts;
       opts.random_trials = trials;
       opts.solve.epsilon = eps;
-      opts.seed = 7000 + static_cast<std::uint64_t>(f);
+      opts.seed = mix_seed(7000, static_cast<std::uint64_t>(f));
       const RelativeResult r = relative_throughput(net, tm, opts);
       row.push_back(Table::fmt(r.relative, 3));
     }

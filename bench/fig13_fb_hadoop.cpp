@@ -12,6 +12,7 @@
 #include "core/evaluator.h"
 #include "core/registry.h"
 #include "tm/facebook.h"
+#include "util/rng.h"
 
 int main() {
   using namespace tb;
@@ -27,7 +28,7 @@ int main() {
     RelativeOptions opts;
     opts.random_trials = trials;
     opts.solve.epsilon = eps;
-    opts.seed = 8000 + static_cast<std::uint64_t>(f);
+    opts.seed = mix_seed(8000, static_cast<std::uint64_t>(f));
     const TrafficMatrix sampled = map_rack_tm(net, rack_tm, racks, 0);
     const TrafficMatrix shuffled = map_rack_tm(net, rack_tm, racks, 555);
     const double rs = relative_throughput(net, sampled, opts).relative;

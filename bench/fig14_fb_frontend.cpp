@@ -13,6 +13,7 @@
 #include "core/evaluator.h"
 #include "core/registry.h"
 #include "tm/facebook.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 int main() {
@@ -29,7 +30,7 @@ int main() {
     RelativeOptions opts;
     opts.random_trials = trials;
     opts.solve.epsilon = eps;
-    opts.seed = 9000 + static_cast<std::uint64_t>(f);
+    opts.seed = mix_seed(9000, static_cast<std::uint64_t>(f));
     const TrafficMatrix sampled = map_rack_tm(net, rack_tm, racks, 0);
     const double rs = relative_throughput(net, sampled, opts).relative;
     std::vector<double> shuffled_rel;

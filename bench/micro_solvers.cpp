@@ -68,9 +68,9 @@ BENCHMARK(BM_Hungarian)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::
 
 void BM_JellyfishGeneration(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  std::uint64_t seed = 1;
+  std::uint64_t trial = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(make_jellyfish(n, 8, 1, seed++));
+    benchmark::DoNotOptimize(make_jellyfish(n, 8, 1, mix_seed(1, trial++)));
   }
 }
 BENCHMARK(BM_JellyfishGeneration)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);

@@ -10,13 +10,28 @@ cd "$(dirname "$0")"
 if command -v clang-format >/dev/null 2>&1; then
   if ! clang-format --dry-run --Werror \
       src/*/*.h src/*/*.cpp tests/*.h tests/*.cpp bench/*.h bench/*.cpp \
-      examples/*.cpp tools/*.cpp; then
+      examples/*.cpp tools/*.h tools/*.cpp; then
     echo "warning: clang-format found style drift (non-fatal)" >&2
   fi
 fi
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
+
+# Determinism lint, fatal: the repo-specific checker must come back clean
+# over all result-affecting code (the lint_tree CTest entry repeats this,
+# but running it up front gives a readable report before the suite).
+./build/tools/topobench_lint --root .
+
+# clang-tidy is advisory here (soft-skipped when not installed); the CI
+# `lint` job runs the same .clang-tidy set fatally with a pinned major.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  if ! run-clang-tidy -quiet -p build \
+      -extra-arg=-Wno-unknown-warning-option \
+      '(src|tools|bench|examples|tests)/.*\.(cpp|cc)$'; then
+    echo "warning: clang-tidy found issues (non-fatal locally)" >&2
+  fi
+fi
 # The suite includes runner_csv_determinism, which runs a runner-ported
 # bench driver at a tiny size in serial and parallel modes and diffs the
 # emitted CSVs (see tests/runner_determinism.cmake).

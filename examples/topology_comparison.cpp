@@ -14,6 +14,7 @@
 #include "core/evaluator.h"
 #include "core/registry.h"
 #include "tm/synthetic.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
                "rel_LM"});
   for (const Family f : all_families()) {
     const Network net = family_representative(f, target, /*seed=*/1);
-    opts.seed = 100 + static_cast<std::uint64_t>(f);
+    opts.seed = mix_seed(100, static_cast<std::uint64_t>(f));
     const double a2a = relative_throughput(net, all_to_all(net), opts).relative;
     const double lm =
         relative_throughput(net, longest_matching(net), opts).relative;

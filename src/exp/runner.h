@@ -70,6 +70,7 @@
 #include <cstddef>
 #include <mutex>
 #include <string>
+// topobench-lint: allow(unordered-container) lookup-only result cache below
 #include <unordered_map>
 
 #include "exp/results.h"
@@ -143,6 +144,13 @@ class Runner {
 
   bool parallel_;
   std::mutex mutex_;
+  // Order-independent by construction: the cache is only probed with
+  // point lookups (find/insert under mutex_) and is never iterated, and
+  // the ResultSet is assembled in flat cell order after the barrier, so
+  // bucket order cannot reach emitted bytes. Pinned by exp_test
+  // Runner.CacheInsertionOrderCannotLeakIntoCsvBytes, which populates the
+  // cache in reversed shard order and diffs the replayed CSV.
+  // topobench-lint: allow(unordered-container) lookup-only, never iterated
   std::unordered_map<std::string, CellResult> cache_;
   CacheStats stats_;
 };

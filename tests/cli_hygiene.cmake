@@ -1,0 +1,79 @@
+# CLI hygiene for the maintenance binaries (topobench_merge,
+# topobench_lint): --help/--version succeed and identify the tool, unknown
+# options and unreadable inputs exit 2 (usage/environment error), and
+# contract/lint findings exit 1 — so shell pipelines and CI jobs can tell
+# "you invoked me wrong" from "your inputs are wrong". Invoked by the
+# cli_hygiene CTest entry with -DMERGE_BIN, -DLINT_BIN, -DFIXTURES,
+# -DWORK_DIR.
+foreach(var MERGE_BIN LINT_BIN FIXTURES WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_hygiene.cmake needs -D${var}")
+  endif()
+endforeach()
+
+# Runs COMMAND (with optional INPUT file on stdin), requires exit code
+# EXPECT_RC, and when MATCH is given requires it as a substring of the
+# combined stdout+stderr.
+function(check)
+  cmake_parse_arguments(CHK "" "NAME;EXPECT_RC;INPUT;MATCH" "COMMAND" ${ARGN})
+  set(input_arg "")
+  if(CHK_INPUT)
+    set(input_arg INPUT_FILE ${CHK_INPUT})
+  endif()
+  execute_process(
+    COMMAND ${CHK_COMMAND}
+    ${input_arg}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${CHK_EXPECT_RC})
+    message(FATAL_ERROR
+      "${CHK_NAME}: expected exit ${CHK_EXPECT_RC}, got ${rc}\n${out}${err}")
+  endif()
+  if(CHK_MATCH)
+    string(FIND "${out}${err}" "${CHK_MATCH}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR
+        "${CHK_NAME}: output lacks \"${CHK_MATCH}\"\n${out}${err}")
+    endif()
+  endif()
+endfunction()
+
+# --- topobench_merge ---------------------------------------------------
+check(NAME merge_help EXPECT_RC 0 MATCH "usage: topobench_merge"
+  COMMAND ${MERGE_BIN} --help)
+check(NAME merge_version EXPECT_RC 0 MATCH "topobench_merge "
+  COMMAND ${MERGE_BIN} --version)
+check(NAME merge_unknown_option EXPECT_RC 2 MATCH "unknown option"
+  COMMAND ${MERGE_BIN} --definitely-not-an-option)
+check(NAME merge_unreadable_file EXPECT_RC 2 MATCH "cannot open"
+  COMMAND ${MERGE_BIN} ${WORK_DIR}/no_such_slice.csv)
+
+# Garbage on stdin is a merge-contract violation (exit 1), not a usage
+# error: the invocation was fine, the slices were not.
+file(WRITE ${WORK_DIR}/cli_hygiene_garbage.csv "this is not a slice\n")
+check(NAME merge_contract_violation EXPECT_RC 1 MATCH "topobench_merge:"
+  INPUT ${WORK_DIR}/cli_hygiene_garbage.csv
+  COMMAND ${MERGE_BIN})
+
+# --- topobench_lint ----------------------------------------------------
+check(NAME lint_help EXPECT_RC 0 MATCH "usage: topobench_lint"
+  COMMAND ${LINT_BIN} --help)
+check(NAME lint_version EXPECT_RC 0 MATCH "topobench_lint "
+  COMMAND ${LINT_BIN} --version)
+check(NAME lint_list_rules EXPECT_RC 0 MATCH "seed-arith"
+  COMMAND ${LINT_BIN} --list-rules)
+check(NAME lint_unknown_option EXPECT_RC 2 MATCH "unknown option"
+  COMMAND ${LINT_BIN} --definitely-not-an-option)
+check(NAME lint_root_missing_value EXPECT_RC 2 MATCH "--root needs"
+  COMMAND ${LINT_BIN} --root)
+check(NAME lint_bad_root EXPECT_RC 2 MATCH "no src/tools/bench/examples"
+  COMMAND ${LINT_BIN} --root ${WORK_DIR}/no_such_root)
+check(NAME lint_unreadable_path EXPECT_RC 2
+  COMMAND ${LINT_BIN} ${WORK_DIR}/no_such_file.cpp)
+check(NAME lint_findings_exit_1 EXPECT_RC 1 MATCH "seed-arith"
+  COMMAND ${LINT_BIN} ${FIXTURES}/seed_arith_pos.cpp)
+check(NAME lint_json_findings EXPECT_RC 1 MATCH "\"rule\": \"seed-arith\""
+  COMMAND ${LINT_BIN} --json ${FIXTURES}/seed_arith_pos.cpp)
+check(NAME lint_clean_exit_0 EXPECT_RC 0
+  COMMAND ${LINT_BIN} ${FIXTURES}/seed_arith_neg.cpp)

@@ -81,6 +81,29 @@ TEST(Runner, CacheAnswersRepeatedCellsWithoutReevaluating) {
   EXPECT_EQ(first.to_csv(), second.to_csv());
 }
 
+// Guards the allow(unordered-container) marker on Runner::cache_: the
+// cache is an unordered_map, so this pins the claim that its iteration
+// (bucket) order cannot leak into emitted CSV bytes. Two runners reach
+// the same cache *contents* through different insertion orders — one
+// evaluates the grid front to back, the other back shard first — and the
+// fully-cached replay must still emit byte-identical CSV.
+TEST(Runner, CacheInsertionOrderCannotLeakIntoCsvBytes) {
+  const exp::Sweep sweep = tiny_sweep(/*trials=*/0);
+  exp::Runner forward;
+  const std::string baseline = forward.run(sweep).to_csv();
+
+  exp::Runner reversed;
+  exp::RunOptions back;
+  back.shard = exp::ShardSpec{1, 2};
+  exp::RunOptions front;
+  front.shard = exp::ShardSpec{0, 2};
+  (void)reversed.run(sweep, back);   // cell 1 inserted first
+  (void)reversed.run(sweep, front);  // then cell 0
+  const std::string replayed = reversed.run(sweep).to_csv();
+  EXPECT_EQ(reversed.cache_stats().hits, 2u);  // pure cache replay
+  EXPECT_EQ(replayed, baseline);
+}
+
 TEST(Runner, CacheDistinguishesSolverAndTrialConfig) {
   exp::Sweep sweep = tiny_sweep(/*trials=*/0);
   exp::Runner runner;

@@ -1,0 +1,12 @@
+// Fixture (never compiled): malformed markers are findings themselves,
+// and a malformed marker suppresses nothing.
+#include <cstdint>
+
+// topobench-lint: allow(not-a-rule) unknown rule ids are rejected
+std::uint64_t unknown_rule(std::uint64_t seed) { return seed + 1; }
+
+// topobench-lint: allow(seed-arith)
+std::uint64_t missing_justification(std::uint64_t seed) { return seed + 2; }
+
+// topobench-lint: allowed(seed-arith) misspelled keyword
+std::uint64_t bad_keyword(std::uint64_t seed) { return seed + 3; }

@@ -1,0 +1,19 @@
+// Fixture (never compiled): well-formed allow markers suppress their
+// findings — same-line trailing form and preceding-line form — including
+// a two-rule marker.
+#include <atomic>
+#include <chrono>
+// topobench-lint: allow(unordered-container) lookup-only cache, never iterated
+#include <unordered_map>
+#include <string>
+
+// topobench-lint: allow(unordered-container) probed with find() only
+std::unordered_map<std::string, double> cache;
+
+long stamp() {
+  // topobench-lint: allow(wall-clock) fixture mirrors util/timer.h
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// topobench-lint: allow(wall-clock, banned-random) fixture exercises lists
+long list_form() { return time(nullptr) + rand(); }

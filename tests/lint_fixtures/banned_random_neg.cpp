@@ -1,0 +1,21 @@
+// Fixture (never compiled): the sanctioned tb::Rng idiom, plus lookalike
+// identifiers ("operand", "brand") that must not match the rand patterns.
+#include <cstdint>
+
+namespace tb {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ += 1; }
+
+ private:
+  std::uint64_t state_;
+};
+}  // namespace tb
+
+std::uint64_t draw(std::uint64_t seed) {
+  tb::Rng rng(seed);
+  return rng.next();
+}
+
+int operand(int brand) { return brand; }

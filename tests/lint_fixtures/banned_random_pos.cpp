@@ -1,0 +1,10 @@
+// Fixture (never compiled): banned-random positives.
+#include <cstdlib>
+#include <random>  // line 3: hit
+
+int noisy_choice(int n) {
+  std::random_device rd;                           // line 6: hit
+  std::mt19937 gen(rd());                          // line 7: hit
+  std::uniform_int_distribution<int> dist(0, n);   // line 8: hit
+  return dist(gen) + std::rand();                  // line 9: hit
+}

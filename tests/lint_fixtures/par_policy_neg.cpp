@@ -1,0 +1,9 @@
+// Fixture (never compiled): plain serial algorithms are fine.
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+double ordered_sum(std::vector<double>& xs) {
+  std::sort(xs.begin(), xs.end());
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

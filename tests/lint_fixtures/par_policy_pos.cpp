@@ -1,0 +1,10 @@
+// Fixture (never compiled): par-policy positives.
+#include <algorithm>
+#include <execution>  // line 3: hit
+#include <vector>
+
+void unordered_work(std::vector<double>& xs) {
+  std::sort(std::execution::par, xs.begin(), xs.end());       // line 7: hit
+  std::for_each(std::execution::par_unseq, xs.begin(),        // line 8: hit
+                xs.end(), [](double& x) { x *= 2.0; });
+}

@@ -1,0 +1,26 @@
+// Fixture (never compiled): sanctioned seed handling — mix_seed
+// derivations, plain assignment/passing, argument comments, and
+// seed-lookalike identifiers with arithmetic of their own.
+#include <cstdint>
+
+namespace tb {
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b);
+}
+
+struct Opts {
+  std::uint64_t seed = 0;
+};
+
+std::uint64_t derive(std::uint64_t seed, std::uint64_t trial) {
+  return tb::mix_seed(seed, trial);
+}
+
+void configure(Opts& opts, Opts* defaults, int q) {
+  opts.seed = 42;
+  opts.seed = tb::mix_seed(6000, static_cast<std::uint64_t>(q));
+  opts.seed = defaults->seed;
+  const std::uint64_t copy = opts.seed;
+  (void)derive(copy, /*trial=*/1 + 2);
+  double seeded = 1.0;
+  seeded = seeded * 2.0;  // "seeded" is not a seed identifier
+}

@@ -1,0 +1,18 @@
+// Fixture (never compiled): seed-arith positives.
+#include <cstdint>
+
+std::uint64_t derive(std::uint64_t seed, std::uint64_t trial) {
+  std::uint64_t stream = seed + trial;  // line 5: hit (adjacent +)
+  seed++;                               // line 6: hit (increment)
+  std::uint64_t base_seed = 0;
+  base_seed = seed * 31;                // line 8: hit (assignment arith)
+  return stream ^ base_seed;            // line 9: hit (adjacent ^)
+}
+
+struct Opts {
+  std::uint64_t seed = 0;
+};
+
+void configure(Opts& opts, int q) {
+  opts.seed = 6000 + static_cast<std::uint64_t>(q);  // line 17: hit
+}

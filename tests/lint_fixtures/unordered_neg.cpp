@@ -1,0 +1,17 @@
+// Fixture (never compiled): ordered containers are fine, and prose or
+// string mentions of unordered_map must not trip the rule.
+#include <map>
+#include <set>
+#include <string>
+
+// An unordered_map would be wrong here; std::map iterates in key order.
+double total_weight(const std::map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [name, w] : weights) {
+    sum += w;
+  }
+  return sum;
+}
+
+const char* kDocs = "never use std::unordered_map in result code";
+std::set<int> visited;

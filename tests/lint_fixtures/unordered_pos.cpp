@@ -1,0 +1,14 @@
+// Fixture (never compiled): unordered-container positives.
+#include <string>
+#include <unordered_map>  // line 3: include is itself a hit
+#include <unordered_set>  // line 4: hit
+
+double total_weight(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [name, w] : weights) {  // iteration order leaks into sum
+    sum += w;
+  }
+  return sum;
+}
+
+std::unordered_set<int> visited;  // line 14: hit

@@ -1,0 +1,24 @@
+// Fixture (never compiled): the PR-5 ordered-reduction idiom — per-slot
+// accumulation through the pool, then a fixed-order reduction after the
+// barrier — plus an atomic counter (integers commute; only floats are
+// order-sensitive).
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace tb {
+class ThreadPool {
+ public:
+  void parallel_for(std::size_t begin, std::size_t end, void (*body)(size_t));
+};
+}  // namespace tb
+
+std::vector<double> slots(16, 0.0);
+std::atomic<std::size_t> cells_done{0};
+
+double ordered_sum(tb::ThreadPool& pool) {
+  pool.parallel_for(0, slots.size(), [](std::size_t) {});
+  double sum = 0.0;
+  for (std::size_t i = 0; i < slots.size(); ++i) sum += slots[i];
+  return sum;
+}

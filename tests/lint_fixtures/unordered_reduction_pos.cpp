@@ -1,0 +1,17 @@
+// Fixture (never compiled): unordered-reduction positives. The atomic
+// half of the rule only fires because this file names ThreadPool.
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace tb {
+class ThreadPool;
+}
+
+double racy_sum(tb::ThreadPool& pool, const std::vector<double>& xs) {
+  std::atomic<double> acc{0.0};                   // line 13: hit
+  (void)pool;
+  return acc.load() + std::reduce(xs.begin(),     // line 15: hit
+                                  xs.end());
+}

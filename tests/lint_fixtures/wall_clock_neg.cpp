@@ -1,0 +1,20 @@
+// Fixture (never compiled): consuming tb::Timer is fine — only raw clock
+// reads are flagged — and <chrono> durations without a clock are legal.
+#include <chrono>
+
+namespace tb {
+class Timer {
+ public:
+  double seconds() const { return 0.0; }
+  double millis() const { return 0.0; }
+};
+}  // namespace tb
+
+double measure() {
+  tb::Timer timer;
+  const std::chrono::milliseconds budget(250);
+  return timer.seconds() + static_cast<double>(budget.count());
+}
+
+// Identifiers containing "time" or "clock" are not clock reads.
+double solve_time(double clock_rate) { return clock_rate * 2.0; }

@@ -1,0 +1,16 @@
+// Fixture (never compiled): wall-clock positives.
+#include <chrono>
+#include <ctime>  // line 3: hit
+
+long stamp_seconds() {
+  return time(nullptr);  // line 6: hit
+}
+
+long stamp_ticks() {
+  return clock();  // line 10: hit
+}
+
+double stamp_monotonic() {
+  const auto t0 = std::chrono::steady_clock::now();  // line 14: hit
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -87,8 +87,8 @@ TEST_P(ThreadedEquivalence, ColdAndWarmGkSolvesAreBitwiseIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Registry, ThreadedEquivalence,
                          ::testing::ValuesIn(all_families()),
-                         [](const ::testing::TestParamInfo<Family>& info) {
-                           return family_name(info.param);
+                         [](const ::testing::TestParamInfo<Family>& param) {
+                           return family_name(param.param);
                          });
 
 // ---------------------------------------------------------------------------

@@ -75,8 +75,8 @@ TEST_P(FamilyInvariants, VolumetricAndCutBoundsDominateThroughput) {
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyInvariants,
                          ::testing::ValuesIn(all_families()),
-                         [](const ::testing::TestParamInfo<Family>& info) {
-                           return family_name(info.param);
+                         [](const ::testing::TestParamInfo<Family>& param) {
+                           return family_name(param.param);
                          });
 
 // ---------------------------------------------------------------------------

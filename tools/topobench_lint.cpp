@@ -1,0 +1,125 @@
+// topobench_lint: repo-specific determinism static checker.
+//
+// Scans C++ sources for the hazards that break topobench's bitwise-
+// reproducibility contract (see tools/lint_core.h for the rule catalogue
+// and the allow-marker escape hatch).
+//
+// Usage:
+//   topobench_lint [options] [path ...]
+//
+// Paths may be files or directories (directories recurse into *.h,
+// *.hpp, *.cc, *.cpp, *.cxx). With no paths, scans the src, tools,
+// bench, and examples trees under --root (default: the current
+// directory) — the repo's result-affecting code.
+//
+// Options:
+//   --root <dir>   base directory for the default path set
+//   --json         emit findings as a JSON array instead of text lines
+//   --list-rules   print the rule catalogue and exit
+//   -h, --help     print this help and exit
+//   --version      print the version and exit
+//
+// Exit status: 0 when the scan is clean, 1 when there are findings,
+// 2 on usage or environment errors (unknown option, unreadable path).
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+void print_usage(std::ostream& os) {
+  os << "usage: topobench_lint [options] [path ...]\n"
+        "\n"
+        "Scans C++ sources for topobench determinism hazards. Paths may\n"
+        "be files or directories; with no paths, scans src tools bench\n"
+        "examples under --root (default: .).\n"
+        "\n"
+        "options:\n"
+        "  --root <dir>   base directory for the default path set\n"
+        "  --json         emit findings as a JSON array\n"
+        "  --list-rules   print the rule catalogue and exit\n"
+        "  -h, --help     print this help and exit\n"
+        "  --version      print the version and exit\n"
+        "\n"
+        "Suppress a finding with a comment marker on the same or the\n"
+        "preceding line: \"topobench-lint: allow(<rule-id>) <why>\".\n"
+        "\n"
+        "exit status: 0 clean, 1 findings, 2 usage error\n";
+}
+
+int usage_error(const std::string& what) {
+  std::cerr << "topobench_lint: " << what << '\n';
+  print_usage(std::cerr);
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  bool json = false;
+  std::string root = ".";
+  std::vector<std::string> paths;
+  bool options_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (options_done || arg.empty() || arg[0] != '-') {
+      paths.push_back(arg);
+    } else if (arg == "--") {
+      options_done = true;
+    } else if (arg == "-h" || arg == "--help") {
+      print_usage(std::cout);
+      return kExitClean;
+    } else if (arg == "--version") {
+      std::cout << "topobench_lint " << tb::lint::kVersion << '\n';
+      return kExitClean;
+    } else if (arg == "--list-rules") {
+      for (const tb::lint::RuleInfo& rule : tb::lint::rule_catalogue()) {
+        std::cout << rule.id << ": " << rule.summary << '\n';
+      }
+      return kExitClean;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return usage_error("--root needs a directory");
+      root = argv[++i];
+    } else {
+      return usage_error("unknown option '" + arg + "'");
+    }
+  }
+
+  if (paths.empty()) {
+    for (const char* dir : {"src", "tools", "bench", "examples"}) {
+      const fs::path candidate = fs::path(root) / dir;
+      if (fs::is_directory(candidate)) {
+        paths.push_back(candidate.generic_string());
+      }
+    }
+    if (paths.empty()) {
+      return usage_error("no src/tools/bench/examples trees under '" + root +
+                         "' (pass explicit paths or --root)");
+    }
+  }
+
+  std::vector<tb::lint::Finding> findings;
+  try {
+    findings = tb::lint::lint_paths(paths);
+  } catch (const std::exception& e) {
+    std::cerr << "topobench_lint: " << e.what() << '\n';
+    return kExitUsage;
+  }
+
+  std::cout << (json ? tb::lint::render_json(findings)
+                     : tb::lint::render_text(findings));
+  if (findings.empty()) return kExitClean;
+  std::cerr << "topobench_lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << '\n';
+  return kExitFindings;
+}

@@ -9,7 +9,11 @@
 // violation of the merge contract — overlapping or missing cell ranges,
 // mismatched grid fingerprints / captions / CSV headers, rows that
 // disagree with their slice's declared range — is a hard error on stderr
-// with exit status 1 (see src/exp/shard.h for the format and contract).
+// (see src/exp/shard.h for the format and contract).
+//
+// Exit status: 0 on a successful merge, 1 when the slices violate the
+// merge contract, 2 on usage or environment errors (unknown option,
+// unreadable input file).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -17,33 +21,70 @@
 
 #include "exp/shard.h"
 
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitMergeFailure = 1;
+constexpr int kExitUsage = 2;
+
+constexpr const char* kVersion = "1.0.0";
+
+void print_usage(std::ostream& os) {
+  os << "usage: topobench_merge [options] [slice.csv ...]\n"
+        "\n"
+        "Merges sharded sweep slices (in any order) into the CSV the\n"
+        "unsharded run would have emitted, byte for byte. Reads stdin\n"
+        "when no files are given.\n"
+        "\n"
+        "options:\n"
+        "  -h, --help     print this help and exit\n"
+        "  --version      print the version and exit\n"
+        "\n"
+        "exit status: 0 merged, 1 merge-contract violation, 2 usage "
+        "error\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::ostringstream input;
-  if (argc > 1) {
-    for (int i = 1; i < argc; ++i) {
-      const std::string path = argv[i];
-      if (path == "-h" || path == "--help") {
-        std::cout << "usage: topobench_merge [slice.csv ...] "
-                     "(reads stdin when no files are given)\n";
-        return 0;
+  bool have_files = false;
+  bool options_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!options_done && !arg.empty() && arg[0] == '-') {
+      if (arg == "--") {
+        options_done = true;
+        continue;
       }
-      std::ifstream file(path, std::ios::binary);
-      if (!file) {
-        std::cerr << "topobench_merge: cannot open " << path << '\n';
-        return 1;
+      if (arg == "-h" || arg == "--help") {
+        print_usage(std::cout);
+        return kExitOk;
       }
-      input << file.rdbuf();
+      if (arg == "--version") {
+        std::cout << "topobench_merge " << kVersion << '\n';
+        return kExitOk;
+      }
+      std::cerr << "topobench_merge: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return kExitUsage;
     }
-  } else {
-    input << std::cin.rdbuf();
+    std::ifstream file(arg, std::ios::binary);
+    if (!file) {
+      std::cerr << "topobench_merge: cannot open " << arg << '\n';
+      return kExitUsage;
+    }
+    input << file.rdbuf();
+    have_files = true;
   }
+  if (!have_files) input << std::cin.rdbuf();
 
   try {
     std::istringstream in(input.str());
     std::cout << tb::exp::merge_slices(in);
   } catch (const std::exception& e) {
     std::cerr << "topobench_merge: " << e.what() << '\n';
-    return 1;
+    return kExitMergeFailure;
   }
-  return 0;
+  return kExitOk;
 }
