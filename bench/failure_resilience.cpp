@@ -41,7 +41,7 @@ int main() {
   sweep.scenarios.push_back(exp::degrade_scenario(0.5));
 
   exp::Runner runner;
-  const exp::ResultSet rs = runner.run(sweep);
+  const exp::ResultSet rs = runner.run(sweep, exp::RunOptions::from_env());
   // A sharded run (TOPOBENCH_SHARD=i/n) holds a partial grid: emit the
   // mergeable slice instead of the per-cell table.
   if (exp::csv_mode() || rs.slice()) {

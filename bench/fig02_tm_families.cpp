@@ -68,7 +68,7 @@ void run_panel(const std::string& panel, std::vector<Network> nets,
     return;
   }
   exp::Runner runner;
-  const exp::ResultSet rs = runner.run(sweep);
+  const exp::ResultSet rs = runner.run(sweep, exp::RunOptions::from_env());
   // A sharded run (TOPOBENCH_SHARD=i/n) holds a partial grid: emit the
   // mergeable slice — the derived panel table needs every cell. Note a
   // sharded fig02 shards each panel's grid independently.

@@ -38,7 +38,7 @@ int main() {
                exp::random_matching_tm(1), exp::longest_matching_tm()};
 
   exp::Runner runner;
-  const exp::ResultSet rs = runner.run(sweep);
+  const exp::ResultSet rs = runner.run(sweep, exp::RunOptions::from_env());
   // A sharded run (TOPOBENCH_SHARD=i/n) holds a partial grid: emit the
   // mergeable slice — the derived figure table needs every cell.
   if (exp::csv_mode() || rs.slice()) {

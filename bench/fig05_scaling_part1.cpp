@@ -21,7 +21,7 @@ int main() {
        Family::FlattenedBF, Family::Hypercube},
       /*max_servers=*/500);
   exp::Runner runner;
-  const exp::ResultSet rs = runner.run(sweep);
+  const exp::ResultSet rs = runner.run(sweep, exp::RunOptions::from_env());
   // A sharded run (TOPOBENCH_SHARD=i/n) holds a partial grid: emit the
   // mergeable slice — the pivot needs every cell.
   if (exp::csv_mode() || rs.slice()) {

@@ -18,7 +18,7 @@ int main() {
       {Family::HyperX, Family::Jellyfish, Family::LongHop, Family::SlimFly},
       /*max_servers=*/900);
   exp::Runner runner;
-  const exp::ResultSet rs = runner.run(sweep);
+  const exp::ResultSet rs = runner.run(sweep, exp::RunOptions::from_env());
   // A sharded run (TOPOBENCH_SHARD=i/n) holds a partial grid: emit the
   // mergeable slice — the pivot needs every cell.
   if (exp::csv_mode() || rs.slice()) {

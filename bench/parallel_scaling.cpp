@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     sweep.solve.solver_threads = threads;
     exp::Runner runner(/*parallel=*/false);
     Timer timer;
-    results.push_back(runner.run(sweep));
+    results.push_back(runner.run(sweep, exp::RunOptions::from_env()));
     seconds.push_back(timer.seconds());
   }
 

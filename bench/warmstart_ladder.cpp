@@ -51,13 +51,13 @@ int main(int argc, char** argv) {
   // but a shared runner would still blur the timing with allocator reuse).
   Timer timer;
   exp::Runner cold_runner;
-  const exp::ResultSet cold = cold_runner.run(sweep);
+  const exp::ResultSet cold = cold_runner.run(sweep, exp::RunOptions::from_env());
   const double cold_seconds = timer.seconds();
 
   sweep.warm_start = true;
   timer.reset();
   exp::Runner warm_runner;
-  const exp::ResultSet warm = warm_runner.run(sweep);
+  const exp::ResultSet warm = warm_runner.run(sweep, exp::RunOptions::from_env());
   const double warm_seconds = timer.seconds();
 
   // Equivalence: cold and warm are both certified within (1 + eps) of the

@@ -1,47 +1,58 @@
-// Quickstart: build a topology, generate traffic matrices, and measure
-// throughput — the minimal end-to-end use of the library.
+// Quickstart: ask throughput questions through tb::api — the single stable
+// public façade (include api/topobench.h and nothing else).
 //
-//   $ ./examples/quickstart [num_switches] [degree]
+//   $ ./examples/quickstart [target_servers]
 //
-// Builds a Jellyfish (random regular) network, evaluates the all-to-all,
-// random-matching and longest-matching (near-worst-case) TMs, and reports
-// the Theorem 2 lower bound T_A2A / 2.
+// Builds a Jellyfish (random regular) topology, evaluates the all-to-all,
+// random-matching and longest-matching (near-worst-case) TMs through an
+// api::Service, reports the Theorem 2 lower bound T_A2A / 2, and shows the
+// cache tier answering each repeat query.
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 
-#include "mcf/throughput.h"
-#include "tm/synthetic.h"
-#include "topo/jellyfish.h"
-#include "util/table.h"
-#include "util/timer.h"
+#include "api/topobench.h"
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 64;
-  const int degree = argc > 2 ? std::atoi(argv[2]) : 6;
+  const int target = argc > 1 ? std::atoi(argv[1]) : 64;
 
-  const tb::Network net = tb::make_jellyfish(n, degree, 1, /*seed=*/1);
-  std::cout << "Network: " << net.name << " (" << net.graph.num_nodes()
-            << " switches, " << net.graph.num_edges() << " links)\n\n";
+  tb::api::Service service;  // no store attached: in-process cache only
 
-  tb::mcf::SolveOptions opts;
-  opts.epsilon = 0.03;
+  tb::api::Query q;
+  q.topology = tb::api::build_topology("jellyfish", target, /*seed=*/1);
+  q.epsilon = 0.03;
+  q.seed = 7;
 
-  tb::Table table({"traffic matrix", "flows", "throughput", "upper bound",
-                   "solver", "seconds"});
+  std::cout << "Topology: " << q.topology.label << "\n\n"
+            << std::left << std::setw(12) << "tm" << std::right
+            << std::setw(12) << "throughput" << std::setw(10) << "source"
+            << '\n';
   double a2a_throughput = 0.0;
-  for (const tb::TrafficMatrix& tm :
-       {tb::all_to_all(net), tb::random_matching(net, 1, /*seed=*/7),
-        tb::longest_matching(net)}) {
-    tb::Timer timer;
-    const tb::mcf::ThroughputResult r = tb::mcf::compute_throughput(net, tm, opts);
-    if (tm.name == "A2A") a2a_throughput = r.throughput;
-    table.add_row({tm.name, std::to_string(tm.num_flows()),
-                   tb::Table::fmt(r.throughput), tb::Table::fmt(r.upper_bound),
-                   r.solver, tb::Table::fmt(timer.seconds(), 2)});
+  for (const char* tm : {"a2a", "rm(1)", "lm"}) {
+    q.tm = tb::api::build_tm(tm);
+    const tb::api::QueryResult r = service.query(q);
+    if (std::string(tm) == "a2a") a2a_throughput = r.record.throughput;
+    std::cout << std::left << std::setw(12) << r.record.tm << std::right
+              << std::setw(12) << std::fixed << std::setprecision(4)
+              << r.record.throughput << std::setw(10)
+              << tb::api::to_string(r.source) << '\n';
   }
-  table.print(std::cout);
-  std::cout << "\nTheorem 2 lower bound (T_A2A / 2): "
-            << tb::Table::fmt(tb::mcf::theorem2_lower_bound(a2a_throughput))
-            << "\n";
+
+  // Theorem 2 (JyothiSGK16): any TM composed of per-server matchings has
+  // throughput at least T_A2A / 2.
+  std::cout << "\nTheorem 2 lower bound (T_A2A / 2): " << std::fixed
+            << std::setprecision(4) << a2a_throughput / 2.0 << '\n';
+
+  // A repeat of an identical query never solves again — it is answered
+  // from the Service's cache with the original bytes.
+  q.tm = tb::api::build_tm("a2a");
+  const tb::api::QueryResult again = service.query(q);
+  std::cout << "repeat a2a query answered from: "
+            << tb::api::to_string(again.source) << '\n';
+
+  const tb::api::ServiceStats stats = service.stats();
+  std::cout << "service stats: " << stats.queries << " queries, "
+            << stats.misses << " solved, " << stats.memory_hits
+            << " memory hits\n";
   return 0;
 }

@@ -1,0 +1,127 @@
+// server_client — a minimal client for the topobench_server wire protocol
+// (line-delimited JSON over stdin/stdout; see docs/ARCHITECTURE.md).
+//
+//   $ ./examples/server_client <path-to-topobench_server> [store-path]
+//
+// Spawns the daemon over a pair of pipes, performs the hello handshake
+// (refusing a protocol-version mismatch the way any client should), asks
+// the same throughput query twice to show the answer tier change, fetches
+// the cumulative stats, and shuts the daemon down cleanly.
+//
+// The client side of the protocol is plain text — this program builds
+// requests with string literals and checks responses with substring
+// matches, to show the wire format requires no library at all.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "api/topobench.h"
+
+namespace {
+
+/// Write one request line and read one response line over the pipe pair.
+std::string round_trip(FILE* to_server, FILE* from_server,
+                       const std::string& request) {
+  std::fprintf(to_server, "%s\n", request.c_str());
+  std::fflush(to_server);
+  std::string line;
+  for (int c = std::fgetc(from_server); c != EOF && c != '\n';
+       c = std::fgetc(from_server)) {
+    line.push_back(static_cast<char>(c));
+  }
+  std::cout << ">> " << request << "\n<< " << line << "\n";
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: server_client <path-to-topobench_server> "
+                 "[store-path]\n";
+    return 2;
+  }
+  const char* server_bin = argv[1];
+
+  int to_child[2];
+  int from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    if (argc > 2) {
+      execl(server_bin, server_bin, "--store", argv[2],
+            static_cast<char*>(nullptr));
+    } else {
+      execl(server_bin, server_bin, static_cast<char*>(nullptr));
+    }
+    std::perror("execl");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  FILE* to_server = fdopen(to_child[1], "w");
+  FILE* from_server = fdopen(from_child[0], "r");
+  if (to_server == nullptr || from_server == nullptr) {
+    std::perror("fdopen");
+    return 1;
+  }
+
+  // Handshake: refuse to speak to a protocol we do not understand.
+  const std::string hello =
+      round_trip(to_server, from_server, R"({"op": "hello", "id": "hs"})");
+  const std::string want_protocol =
+      "\"protocol\": " + std::to_string(tb::api::kProtocolVersion);
+  int rc = 0;
+  if (hello.find(want_protocol) == std::string::npos) {
+    std::cerr << "server_client: protocol mismatch (need " << want_protocol
+              << ")\n";
+    rc = 1;
+  } else {
+    const std::string query =
+        R"({"op": "query", "topology": {"family": "hypercube", "servers": 16},)"
+        R"( "tm": "a2a", "epsilon": 0.1})";
+    const std::string first = round_trip(to_server, from_server, query);
+    const std::string second = round_trip(to_server, from_server, query);
+    round_trip(to_server, from_server, R"({"op": "stats"})");
+    if (first.find("\"ok\": true") == std::string::npos ||
+        second.find("\"ok\": true") == std::string::npos) {
+      std::cerr << "server_client: query failed\n";
+      rc = 1;
+    } else if (second.find("\"source\": \"solved\"") != std::string::npos) {
+      std::cerr << "server_client: repeat query was re-solved (expected a "
+                   "memory or store hit)\n";
+      rc = 1;
+    }
+  }
+  round_trip(to_server, from_server, R"({"op": "shutdown"})");
+  fclose(to_server);
+  fclose(from_server);
+
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("waitpid");
+    return 1;
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::cerr << "server_client: server exited with status " << status << '\n';
+    return 1;
+  }
+  return rc;
+}

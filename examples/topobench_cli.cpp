@@ -1,60 +1,45 @@
-// topobench_cli — a small command-line front end over the library, for
-// scripted use (emits edge lists and plain tables).
+// topobench_cli — a small command-line front end for scripted use, built
+// entirely on tb::api (include api/topobench.h and nothing else): emits
+// edge lists and plain key-value reports.
 //
 //   topobench_cli gen  <family> <target_servers> [seed]
 //       Generate a topology and print it in edge-list format.
-//   topobench_cli eval <edge-list-file> <a2a|rm|lm> [epsilon]
-//       Throughput of the given TM on a topology file.
+//   topobench_cli eval <edge-list-file> <tm-spec> [epsilon]
+//       Throughput of a TM ("a2a", "rm(<k>)", "lm", "kodialam") on a
+//       topology file.
 //   topobench_cli cuts <edge-list-file>
-//       Sparse-cut survey (longest-matching TM).
+//       Certified cut upper bound for the longest-matching TM.
 //   topobench_cli rel  <family> <target_servers> [trials]
 //       Relative throughput vs same-equipment random graphs.
+//
+// Exit status: 0 ok, 1 data error (unreadable/invalid input), 2 usage.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 
-#include "core/evaluator.h"
-#include "core/registry.h"
-#include "cuts/sparsest_cut.h"
-#include "mcf/throughput.h"
-#include "tm/synthetic.h"
-#include "topo/io.h"
-#include "util/table.h"
+#include "api/topobench.h"
 
 namespace {
-
-using namespace tb;
-
-const std::map<std::string, Family>& family_map() {
-  static const std::map<std::string, Family> m{
-      {"bcube", Family::BCube},         {"dcell", Family::DCell},
-      {"dragonfly", Family::Dragonfly}, {"fattree", Family::FatTree},
-      {"fbf", Family::FlattenedBF},     {"hypercube", Family::Hypercube},
-      {"hyperx", Family::HyperX},       {"jellyfish", Family::Jellyfish},
-      {"longhop", Family::LongHop},     {"slimfly", Family::SlimFly}};
-  return m;
-}
 
 int usage() {
   std::cerr << "usage:\n"
             << "  topobench_cli gen  <family> <target_servers> [seed]\n"
-            << "  topobench_cli eval <file> <a2a|rm|lm> [epsilon]\n"
+            << "  topobench_cli eval <file> <tm-spec> [epsilon]\n"
             << "  topobench_cli cuts <file>\n"
             << "  topobench_cli rel  <family> <target_servers> [trials]\n"
             << "families:";
-  for (const auto& [name, f] : family_map()) {
-    (void)f;
+  for (const std::string& name : tb::api::family_names()) {
     std::cerr << ' ' << name;
   }
-  std::cerr << '\n';
+  std::cerr << "\ntm specs: a2a rm(<k>) lm kodialam\n";
   return 2;
 }
 
-Network load(const std::string& path) {
+tb::api::Topology load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return read_edge_list(in, path);
+  return tb::api::load_topology(in, path);
 }
 
 }  // namespace
@@ -66,70 +51,56 @@ int main(int argc, char** argv) {
 
     if (cmd == "gen") {
       if (argc < 4) return usage();
-      const auto it = family_map().find(argv[2]);
-      if (it == family_map().end()) return usage();
-      const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
-      const Network net =
-          family_representative(it->second, std::atoi(argv[3]), seed);
-      write_edge_list(std::cout, net);
+      const std::uint64_t seed =
+          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+      tb::api::save_topology(
+          std::cout, tb::api::build_topology(argv[2], std::atoi(argv[3]), seed));
       return 0;
     }
 
     if (cmd == "eval") {
       if (argc < 4) return usage();
-      const Network net = load(argv[2]);
-      net.validate();
-      const std::string kind = argv[3];
-      TrafficMatrix tm;
-      if (kind == "a2a") {
-        tm = all_to_all(net);
-      } else if (kind == "rm") {
-        tm = random_matching(net, 1, 7);
-      } else if (kind == "lm") {
-        tm = longest_matching(net);
-      } else {
-        return usage();
-      }
-      mcf::SolveOptions opts;
-      if (argc > 4) opts.epsilon = std::strtod(argv[4], nullptr);
-      const auto r = mcf::compute_throughput(net, tm, opts);
-      std::cout << "network " << net.name << "\ntm " << tm.name << "\nflows "
-                << tm.num_flows() << "\nthroughput " << r.throughput
-                << "\nupper_bound " << r.upper_bound << "\nsolver " << r.solver
-                << '\n';
+      tb::api::Query q;
+      q.topology = load(argv[2]);
+      q.tm = tb::api::build_tm(argv[3]);
+      if (argc > 4) q.epsilon = std::strtod(argv[4], nullptr);
+      q.seed = 7;
+      tb::api::Service service;
+      const tb::api::Result r = service.query(q).record;
+      std::cout << "network " << r.topology << "\ntm " << r.tm << "\nservers "
+                << r.servers << "\nthroughput " << r.throughput << "\nsolver "
+                << r.solver << '\n';
       return 0;
     }
 
     if (cmd == "cuts") {
-      const Network net = load(argv[2]);
-      net.validate();
-      const TrafficMatrix tm = longest_matching(net);
-      const cuts::SparseCutSurvey survey = cuts::best_sparse_cut(net.graph, tm);
-      Table table({"method", "sparsity"});
-      for (const auto& [method, value] : survey.per_method) {
-        table.add_row({method, Table::fmt(value)});
-      }
-      table.print(std::cout, "sparse-cut survey (LM TM) for " + net.name);
-      std::cout << "best: " << Table::fmt(survey.best.sparsity) << " via "
-                << survey.best.method << '\n';
+      tb::api::Query q;
+      q.topology = load(argv[2]);
+      q.tm = tb::api::build_tm("lm");
+      q.cut_bounds = true;
+      q.seed = 7;
+      tb::api::Service service;
+      const tb::api::Result r = service.query(q).record;
+      std::cout << "network " << r.topology << "\ntm " << r.tm
+                << "\nthroughput " << r.throughput << "\ncut_bound "
+                << r.cut_bound << "\ncut_gap " << r.cut_gap << "\ncut_method "
+                << r.cut_method << '\n';
       return 0;
     }
 
     if (cmd == "rel") {
       if (argc < 4) return usage();
-      const auto it = family_map().find(argv[2]);
-      if (it == family_map().end()) return usage();
-      const Network net =
-          family_representative(it->second, std::atoi(argv[3]), 1);
-      RelativeOptions opts;
-      opts.random_trials = argc > 4 ? std::atoi(argv[4]) : 2;
-      opts.solve.epsilon = 0.06;
-      const RelativeResult r =
-          relative_throughput(net, longest_matching(net), opts);
-      std::cout << "network " << net.name << "\nthroughput "
-                << r.topo_throughput << "\nrandom_mean "
-                << r.random_throughput.mean << "\nrelative " << r.relative
-                << " +- " << r.relative_ci95 << '\n';
+      tb::api::Query q;
+      q.topology = tb::api::build_topology(argv[2], std::atoi(argv[3]));
+      q.tm = tb::api::build_tm("lm");
+      q.trials = argc > 4 ? std::atoi(argv[4]) : 2;
+      q.epsilon = 0.06;
+      q.seed = 7;
+      tb::api::Service service;
+      const tb::api::Result r = service.query(q).record;
+      std::cout << "network " << r.topology << "\nthroughput " << r.throughput
+                << "\nrandom_mean " << r.random_mean << "\nrelative "
+                << r.relative << " +- " << r.relative_ci95 << '\n';
       return 0;
     }
     return usage();

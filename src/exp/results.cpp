@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/env.h"
 #include "util/table.h"
 
 namespace tb::exp {
@@ -136,20 +137,73 @@ const CellResult& ResultSet::at(const std::string& topology,
                           ")");
 }
 
+const std::string& csv_header() {
+  static const std::string header = kCsvHeader;
+  return header;
+}
+
+std::string csv_row(const CellResult& r) {
+  std::ostringstream out;
+  out << r.cell << ',' << csv_quote(r.topology) << ',' << r.servers << ','
+      << r.switches << ',' << csv_quote(r.tm) << ',' << r.seed << ','
+      << csv_quote(r.solver) << ',' << r.trials << ',' << num(r.throughput)
+      << ',' << num(r.random_mean) << ',' << num(r.random_ci95) << ','
+      << num(r.relative) << ',' << num(r.relative_ci95) << ','
+      << num(r.cut_bound) << ',' << num(r.cut_gap) << ','
+      << csv_quote(r.cut_method) << ',' << csv_quote(r.scenario) << ','
+      << int_or_na(r.failed_links) << ',' << num(r.throughput_drop) << ','
+      << r.pivots << ',' << r.phases << ',' << r.dijkstras << ',' << r.warm
+      << ',' << r.solver_threads;
+  return out.str();
+}
+
+CellResult cell_from_csv_row(const std::string& row) {
+  // Reject unbalanced quoting up front: csv_split would otherwise read an
+  // unterminated quote to end-of-string and mis-count fields confusingly.
+  if (std::count(row.begin(), row.end(), '"') % 2 != 0) {
+    throw std::invalid_argument("cell_from_csv_row: unterminated quote");
+  }
+  const std::vector<std::string> f = csv_split(row);
+  if (f.size() != kNumColumns) {
+    throw std::invalid_argument("cell_from_csv_row: bad row arity (" +
+                                std::to_string(f.size()) + " fields)");
+  }
+  CellResult r;
+  r.cell = static_cast<std::size_t>(std::strtoull(f[0].c_str(), nullptr, 10));
+  r.topology = f[1];
+  r.servers = static_cast<int>(std::strtol(f[2].c_str(), nullptr, 10));
+  r.switches = static_cast<int>(std::strtol(f[3].c_str(), nullptr, 10));
+  r.tm = f[4];
+  r.seed = std::strtoull(f[5].c_str(), nullptr, 10);
+  r.solver = f[6];
+  r.trials = static_cast<int>(std::strtol(f[7].c_str(), nullptr, 10));
+  r.throughput = parse_num(f[8]);
+  r.random_mean = parse_num(f[9]);
+  r.random_ci95 = parse_num(f[10]);
+  r.relative = parse_num(f[11]);
+  r.relative_ci95 = parse_num(f[12]);
+  r.cut_bound = parse_num(f[13]);
+  r.cut_gap = parse_num(f[14]);
+  r.cut_method = f[15];
+  r.scenario = f[16];
+  r.failed_links =
+      f[17] == "na"
+          ? -1
+          : static_cast<int>(std::strtol(f[17].c_str(), nullptr, 10));
+  r.throughput_drop = parse_num(f[18]);
+  r.pivots = std::strtol(f[19].c_str(), nullptr, 10);
+  r.phases = std::strtol(f[20].c_str(), nullptr, 10);
+  r.dijkstras = std::strtol(f[21].c_str(), nullptr, 10);
+  r.warm = static_cast<int>(std::strtol(f[22].c_str(), nullptr, 10));
+  r.solver_threads = static_cast<int>(std::strtol(f[23].c_str(), nullptr, 10));
+  return r;
+}
+
 std::string ResultSet::to_csv() const {
   std::ostringstream out;
   out << kCsvHeader << '\n';
   for (const CellResult& r : rows_) {
-    out << r.cell << ',' << csv_quote(r.topology) << ',' << r.servers << ','
-        << r.switches << ',' << csv_quote(r.tm) << ',' << r.seed << ','
-        << csv_quote(r.solver) << ',' << r.trials << ',' << num(r.throughput)
-        << ',' << num(r.random_mean) << ',' << num(r.random_ci95) << ','
-        << num(r.relative) << ',' << num(r.relative_ci95) << ','
-        << num(r.cut_bound) << ',' << num(r.cut_gap) << ','
-        << csv_quote(r.cut_method) << ',' << csv_quote(r.scenario) << ','
-        << int_or_na(r.failed_links) << ',' << num(r.throughput_drop) << ','
-        << r.pivots << ',' << r.phases << ',' << r.dijkstras << ',' << r.warm
-        << ',' << r.solver_threads << '\n';
+    out << csv_row(r) << '\n';
   }
   return out.str();
 }
@@ -220,40 +274,13 @@ ResultSet ResultSet::from_csv(const std::string& csv) {
       record.clear();
       continue;
     }
-    const std::vector<std::string> f = csv_split(record);
-    record.clear();
-    if (f.size() != kNumColumns) {
+    CellResult r;
+    try {
+      r = cell_from_csv_row(record);
+    } catch (const std::invalid_argument&) {
       throw std::invalid_argument("ResultSet::from_csv: bad row arity");
     }
-    CellResult r;
-    r.cell = static_cast<std::size_t>(std::strtoull(f[0].c_str(), nullptr, 10));
-    r.topology = f[1];
-    r.servers = static_cast<int>(std::strtol(f[2].c_str(), nullptr, 10));
-    r.switches = static_cast<int>(std::strtol(f[3].c_str(), nullptr, 10));
-    r.tm = f[4];
-    r.seed = std::strtoull(f[5].c_str(), nullptr, 10);
-    r.solver = f[6];
-    r.trials = static_cast<int>(std::strtol(f[7].c_str(), nullptr, 10));
-    r.throughput = parse_num(f[8]);
-    r.random_mean = parse_num(f[9]);
-    r.random_ci95 = parse_num(f[10]);
-    r.relative = parse_num(f[11]);
-    r.relative_ci95 = parse_num(f[12]);
-    r.cut_bound = parse_num(f[13]);
-    r.cut_gap = parse_num(f[14]);
-    r.cut_method = f[15];
-    r.scenario = f[16];
-    r.failed_links = f[17] == "na"
-                         ? -1
-                         : static_cast<int>(std::strtol(f[17].c_str(),
-                                                        nullptr, 10));
-    r.throughput_drop = parse_num(f[18]);
-    r.pivots = std::strtol(f[19].c_str(), nullptr, 10);
-    r.phases = std::strtol(f[20].c_str(), nullptr, 10);
-    r.dijkstras = std::strtol(f[21].c_str(), nullptr, 10);
-    r.warm = static_cast<int>(std::strtol(f[22].c_str(), nullptr, 10));
-    r.solver_threads =
-        static_cast<int>(std::strtol(f[23].c_str(), nullptr, 10));
+    record.clear();
     rs.add(std::move(r));
   }
   if (!record.empty()) {
@@ -299,9 +326,6 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
   os << '\n';
 }
 
-bool csv_mode() {
-  const char* s = std::getenv("TOPOBENCH_CSV");
-  return s != nullptr && s[0] == '1';
-}
+bool csv_mode() { return env::flag_knob("TOPOBENCH_CSV", false); }
 
 }  // namespace tb::exp

@@ -99,7 +99,27 @@ class ResultSet {
 };
 
 /// True when TOPOBENCH_CSV=1: drivers print the uniform ResultSet CSV
-/// instead of their derived figure tables.
+/// instead of their derived figure tables. Strict loader semantics: any
+/// value other than "0"/"1" throws std::invalid_argument (see util/env.h).
 bool csv_mode();
+
+// --- single-record codec -------------------------------------------------
+// The exact per-row byte discipline of to_csv/from_csv, exposed so other
+// serializers (the on-disk result store) reuse the same codec instead of
+// inventing a second one. csv_row + cell_from_csv_row round-trip every
+// CellResult bit-exactly: doubles are %.17g, NaN is "na", fields containing
+// separators are RFC-4180 quoted.
+
+/// The uniform CSV header line (no trailing newline).
+const std::string& csv_header();
+
+/// One CSV row for `r`, byte-identical to the corresponding to_csv line
+/// (no trailing newline).
+std::string csv_row(const CellResult& r);
+
+/// Strict inverse of csv_row: throws std::invalid_argument on wrong arity
+/// or malformed quoting. Accepts multi-line rows (quoted fields may contain
+/// newlines), matching from_csv's record discipline.
+CellResult cell_from_csv_row(const std::string& row);
 
 }  // namespace tb::exp

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/evaluator.h"
+#include "store/result_store.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -114,6 +116,23 @@ void validate_modes(const Sweep& sweep) {
 }
 
 }  // namespace
+
+std::string cell_result_key(const Sweep& sweep, const Cell& cell) {
+  return cache_key(sweep.topologies[cell.topo].label, sweep.tms[cell.tm].label,
+                   scenario_label_of(sweep, cell),
+                   mix_seed(sweep.base_seed, cell.index), sweep);
+}
+
+RunOptions RunOptions::from_env() {
+  RunOptions opts;
+  opts.shard = env_shard();
+  opts.solver_threads = env::int_knob("TOPOBENCH_SOLVER_THREADS", 0, 0, 512);
+  if (const std::optional<std::string> path = env::raw("TOPOBENCH_STORE")) {
+    opts.store = std::make_shared<store::ResultStore>(
+        *path, store::ResultStore::Mode::ReadWrite);
+  }
+  return opts;
+}
 
 std::string solver_label(const mcf::SolveOptions& opts) {
   char eps[24];
@@ -251,23 +270,25 @@ void Runner::eval_failure_group(const Sweep& sweep,
 }
 
 ResultSet Runner::run(const Sweep& sweep) {
-  if (const std::optional<ShardSpec> shard = env_shard()) {
-    return run_impl(sweep, *shard, /*slice=*/true);
-  }
-  return run_impl(sweep, ShardSpec{}, /*slice=*/false);
+  // Deprecated shim: the env contract lives in RunOptions::from_env().
+  return run(sweep, RunOptions::from_env());
 }
 
 ResultSet Runner::run(const Sweep& sweep, const RunOptions& opts) {
-  if (!opts.shard.valid()) {
-    throw std::invalid_argument(
-        "Runner::run: invalid shard spec " + std::to_string(opts.shard.index) +
-        "/" + std::to_string(opts.shard.count) + " (need 0 <= i < n)");
+  if (opts.shard) {
+    if (!opts.shard->valid()) {
+      throw std::invalid_argument("Runner::run: invalid shard spec " +
+                                  std::to_string(opts.shard->index) + "/" +
+                                  std::to_string(opts.shard->count) +
+                                  " (need 0 <= i < n)");
+    }
+    return run_impl(sweep, opts, *opts.shard, /*slice=*/true);
   }
-  return run_impl(sweep, opts.shard, /*slice=*/true);
+  return run_impl(sweep, opts, ShardSpec{}, /*slice=*/false);
 }
 
-ResultSet Runner::run_impl(const Sweep& sweep, const ShardSpec& shard,
-                           bool slice) {
+ResultSet Runner::run_impl(const Sweep& sweep, const RunOptions& opts,
+                           const ShardSpec& shard, bool slice) {
   if (sweep.topologies.empty() || sweep.tms.empty()) {
     throw std::invalid_argument("Runner::run: empty sweep");
   }
@@ -278,44 +299,64 @@ ResultSet Runner::run_impl(const Sweep& sweep, const ShardSpec& shard,
   // floors), which is what makes a shard's rows bitwise the corresponding
   // rows of the unsharded run.
   const CellRange range = shard_range(cells.size(), shard);
-  // TOPOBENCH_SOLVER_THREADS seeds the intra-solve threading knob when the
-  // sweep leaves it at 0; never part of cache identity (results are
+  // RunOptions::solver_threads seeds the intra-solve threading knob when
+  // the sweep leaves it at 0; never part of cache identity (results are
   // thread-invariant by the solver determinism contracts).
   mcf::SolveOptions solve = sweep.solve;
   if (solve.solver_threads == 0) {
-    solve.solver_threads = env_int("TOPOBENCH_SOLVER_THREADS", 0, 0, 512);
+    solve.solver_threads = opts.solver_threads;
   }
+  store::ResultStore* store = opts.store.get();
 
   std::vector<CellResult> out(cells.size());
   std::vector<std::size_t> misses;  // cell indices needing evaluation
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // Tiered probe: memory first, then the on-disk store (a disk hit is
+    // copied into the memory cache so the next probe is free). The store
+    // is only touched under mutex_ — ResultStore is not thread-safe.
+    const auto probe = [&](const Cell& c) -> const CellResult* {
+      const std::string key = cell_result_key(sweep, c);
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++stats_.hits;
+        ++stats_.memory_hits;
+        return &it->second;
+      }
+      if (store != nullptr) {
+        if (std::optional<CellResult> r = store->get(key)) {
+          ++stats_.hits;
+          ++stats_.disk_hits;
+          return &cache_.emplace(key, std::move(*r)).first->second;
+        }
+      }
+      return nullptr;
+    };
+    const auto present = [&](const Cell& c) {
+      const std::string key = cell_result_key(sweep, c);
+      return cache_.find(key) != cache_.end() ||
+             (store != nullptr && store->contains(key));
+    };
     if (!sweep.warm_start) {
       for (std::size_t index = range.lo; index < range.hi; ++index) {
         const Cell& c = cells[index];
-        const std::string key = cache_key(
-            sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
-            scenario_label_of(sweep, c), mix_seed(sweep.base_seed, c.index),
-            sweep);
-        const auto it = cache_.find(key);
-        if (it != cache_.end()) {
-          out[c.index] = it->second;
+        if (const CellResult* hit = probe(c)) {
+          out[c.index] = *hit;
           out[c.index].cell = c.index;
           // The column echoes the *requested* configuration (results.h);
           // the cached row may have been computed under a different one.
           out[c.index].solver_threads = solve.solver_threads;
-          ++stats_.hits;
         } else {
           misses.push_back(c.index);
         }
       }
     } else {
-      // Warm mode: a topology chain is answered from the cache only when
-      // every one of its cells hits — re-solving part of a chain would
-      // change the warm seeds of the rest. A chain a shard's range merely
-      // intersects still runs (or hits) whole: its in-range cells' values
-      // depend on the chain prefix, so trimming the chain to the range
-      // would change bytes.
+      // Warm mode: a topology chain is answered from the cache/store only
+      // when every one of its cells is present — re-solving part of a
+      // chain would change the warm seeds of the rest. A chain a shard's
+      // range merely intersects still runs (or hits) whole: its in-range
+      // cells' values depend on the chain prefix, so trimming the chain to
+      // the range would change bytes.
       const std::size_t per_topo = sweep.tms.size();
       const std::size_t first_topo = range.lo / per_topo;
       const std::size_t last_topo =
@@ -323,25 +364,16 @@ ResultSet Runner::run_impl(const Sweep& sweep, const ShardSpec& shard,
       for (std::size_t t = first_topo; t < last_topo; ++t) {
         bool all_hit = true;
         for (std::size_t m = 0; m < per_topo && all_hit; ++m) {
-          const std::size_t index = t * per_topo + m;
-          const Cell& c = cells[index];
-          all_hit = cache_.find(cache_key(
-                        sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
-                        scenario_label_of(sweep, c),
-                        mix_seed(sweep.base_seed, c.index), sweep)) !=
-                    cache_.end();
+          all_hit = present(cells[t * per_topo + m]);
         }
         for (std::size_t m = 0; m < per_topo; ++m) {
           const std::size_t index = t * per_topo + m;
           const Cell& c = cells[index];
           if (all_hit) {
-            out[c.index] = cache_.at(cache_key(
-                sweep.topologies[c.topo].label, sweep.tms[c.tm].label,
-                scenario_label_of(sweep, c), mix_seed(sweep.base_seed, c.index),
-                sweep));
+            const CellResult* hit = probe(c);
+            out[c.index] = *hit;
             out[c.index].cell = c.index;
             out[c.index].solver_threads = solve.solver_threads;
-            ++stats_.hits;
           } else {
             misses.push_back(c.index);
           }
@@ -442,13 +474,17 @@ ResultSet Runner::run_impl(const Sweep& sweep, const ShardSpec& shard,
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // Write-through: evaluated cells land in the memory cache and, when a
+    // writable store is attached, on disk (put throws loudly if the store
+    // already holds different bytes for the key — a determinism
+    // violation). A read-only store stays a read tier.
+    const bool persist =
+        store != nullptr &&
+        store->mode() == store::ResultStore::Mode::ReadWrite;
     for (const std::size_t index : misses) {
-      const Cell& c = cells[index];
-      cache_.emplace(cache_key(sweep.topologies[c.topo].label,
-                               sweep.tms[c.tm].label,
-                               scenario_label_of(sweep, c), out[index].seed,
-                               sweep),
-                     out[index]);
+      const std::string key = cell_result_key(sweep, cells[index]);
+      if (persist) store->put(key, out[index]);
+      cache_.emplace(std::move(key), out[index]);
       ++stats_.misses;
     }
   }

@@ -65,10 +65,21 @@
 // runs whole (a chain cell's value depends on its chain prefix), but only
 // in-range cells are returned; the extra cells land in the cache.
 // tools/topobench_merge reassembles slices into the unsharded bytes.
+//
+// Result store (RunOptions::store): an optional on-disk tier under the
+// in-process cache. The probe order is memory, then disk, then evaluate; a
+// disk hit is copied into the memory cache, and every evaluated cell is
+// written through to the store (when it is writable). Store keys are the
+// cache keys above (see cell_result_key), values the exact CSV row codec,
+// so a sweep re-run against a populated store returns byte-identical
+// results without a single solve. CacheStats splits hits into
+// memory_hits/disk_hits so callers can tell the tiers apart.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 // topobench-lint: allow(unordered-container) lookup-only result cache below
 #include <unordered_map>
@@ -78,20 +89,50 @@
 #include "exp/sweep.h"
 #include "util/table.h"
 
+namespace tb::store {
+class ResultStore;
+}  // namespace tb::store
+
 namespace tb::exp {
 
 struct CacheStats {
-  std::size_t hits = 0;    ///< cells answered from the cache
-  std::size_t misses = 0;  ///< cells actually evaluated
+  std::size_t hits = 0;         ///< cells answered without evaluation
+                                ///< (always memory_hits + disk_hits)
+  std::size_t memory_hits = 0;  ///< ... from the in-process cache
+  std::size_t disk_hits = 0;    ///< ... from the on-disk result store
+  std::size_t misses = 0;       ///< cells actually evaluated
 };
 
 /// Per-run execution options (as opposed to the Sweep, which describes the
-/// grid itself and is part of result identity).
+/// grid itself and is part of result identity). This is the single
+/// consolidated knob path: environment variables enter exclusively through
+/// from_env(), and every field can be set programmatically without
+/// touching the environment.
 struct RunOptions {
-  /// Evaluate only this shard of the flat cell grid and return a slice
-  /// (ResultSet::slice is set). The default {0, 1} is the whole grid —
-  /// still emitted as a (trivially mergeable) slice.
-  ShardSpec shard;
+  /// When engaged, evaluate only this shard of the flat cell grid and
+  /// return a slice (ResultSet::slice is set; see shard.h). Disengaged:
+  /// the whole grid, emitted without a slice header.
+  std::optional<ShardSpec> shard;
+
+  /// Intra-solve worker threads, applied when the sweep's SolveOptions
+  /// leave solver_threads at 0 (0 = shared pool; never changes values —
+  /// see the solver determinism contracts).
+  int solver_threads = 0;
+
+  /// On-disk result tier (read-through/write-through when ReadWrite,
+  /// read-only tier otherwise). Shared so a Service and its Runner can
+  /// hold the same store. The Runner serializes all store access under
+  /// its cache mutex.
+  std::shared_ptr<store::ResultStore> store;
+
+  /// The one environment loader (strict: malformed values throw
+  /// std::invalid_argument, see util/env.h):
+  ///   TOPOBENCH_SHARD=i/n       -> shard
+  ///   TOPOBENCH_SOLVER_THREADS  -> solver_threads (integer in [0, 512])
+  ///   TOPOBENCH_STORE=<path>    -> store, opened ReadWrite (created if
+  ///                                absent; throws if another writer holds
+  ///                                the lock or the file is corrupt)
+  static RunOptions from_env();
 };
 
 class Runner {
@@ -103,17 +144,18 @@ class Runner {
   Runner(const Runner&) = delete;
   Runner& operator=(const Runner&) = delete;
 
-  /// Evaluate every cell of `sweep` and return results in cell order.
-  /// Honors TOPOBENCH_SHARD=i/n (throwing std::invalid_argument when it is
-  /// set but malformed — a fleet must fail loudly, not silently run the
-  /// whole grid per machine). Throws std::invalid_argument on an empty
-  /// grid or an invalid mode combination (see the failures / warm-start
-  /// contracts above).
+  /// Deprecated shim, kept for source compatibility: identical to
+  /// run(sweep, RunOptions::from_env()) — honors TOPOBENCH_SHARD,
+  /// TOPOBENCH_SOLVER_THREADS and TOPOBENCH_STORE, throwing
+  /// std::invalid_argument when any is set but malformed. New code should
+  /// call the options-taking overload with an explicit RunOptions (use
+  /// RunOptions::from_env() to keep the env contract).
   ResultSet run(const Sweep& sweep);
 
-  /// Programmatic sharding: evaluate only opts.shard's cell range and
-  /// return it as a slice (ignores TOPOBENCH_SHARD). Throws
-  /// std::invalid_argument on an invalid shard spec.
+  /// Evaluate `sweep` under `opts` and return results in cell order.
+  /// Throws std::invalid_argument on an empty grid, an invalid mode
+  /// combination (see the failures / warm-start contracts above), or an
+  /// engaged-but-invalid opts.shard.
   ResultSet run(const Sweep& sweep, const RunOptions& opts);
 
   const CacheStats& cache_stats() const noexcept { return stats_; }
@@ -139,8 +181,10 @@ class Runner {
 
   /// The shared implementation: evaluate `shard`'s cell range (global
   /// indices throughout) and, when `slice` is true, stamp the returned
-  /// ResultSet with its SliceMeta.
-  ResultSet run_impl(const Sweep& sweep, const ShardSpec& shard, bool slice);
+  /// ResultSet with its SliceMeta. `opts` supplies the store tier and the
+  /// solver-threads default.
+  ResultSet run_impl(const Sweep& sweep, const RunOptions& opts,
+                     const ShardSpec& shard, bool slice);
 
   bool parallel_;
   std::mutex mutex_;
@@ -167,6 +211,13 @@ std::uint64_t grid_fingerprint(const Sweep& sweep);
 /// Human-readable label of a solver configuration ("auto(eps=0.1)",
 /// "exact-lp", "gk(eps=0.03)"); part of the result rows and cache key.
 std::string solver_label(const mcf::SolveOptions& opts);
+
+/// The cache/store identity of one cell of `sweep`: topology label, TM
+/// label, scenario label, cell seed, configuration fingerprint, and trial
+/// count, '\x1f'-joined — exactly the key Runner memoizes under and the
+/// ResultStore persists under. Exposed so tests and tools can address
+/// store records without re-deriving the scheme.
+std::string cell_result_key(const Sweep& sweep, const Cell& cell);
 
 /// Pivot a relative-mode sweep into the scaling-figure shape: one row per
 /// topology with rel_<tm> columns plus the CI of the last TM (the paper's

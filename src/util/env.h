@@ -1,0 +1,33 @@
+// Single-point, strict environment-knob loaders. Configuration structs
+// (exp::RunOptions, api::ServiceConfig) call these from their from_env()
+// factories so every TOPOBENCH_* variable is parsed in exactly one place
+// with one failure policy: unset means the documented default, and a set
+// but malformed or out-of-range value throws std::invalid_argument naming
+// the variable and the offending text. A fleet must fail loudly, not
+// silently fall back to a default that changes which work gets done.
+//
+// (The legacy exp::env_eps/env_trials/env_int helpers keep their
+// clamp-and-fallback semantics for the sweep-shape knobs — grid sizes are
+// advisory, not identities. Knobs that select *behavior* — threads, shard,
+// store, CSV mode — route through these strict loaders.)
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace tb::env {
+
+/// Raw value of `name`, or nullopt when unset. Empty string counts as set.
+std::optional<std::string> raw(const char* name);
+
+/// Integer knob: unset -> `fallback`; otherwise the value must parse fully
+/// as a base-10 integer in [lo, hi] or the call throws
+/// std::invalid_argument naming the variable.
+int int_knob(const char* name, int fallback, int lo, int hi);
+
+/// Boolean knob: unset -> `fallback`; otherwise the value must be exactly
+/// "0" or "1" (the only spellings the docs advertise) or the call throws
+/// std::invalid_argument naming the variable.
+bool flag_knob(const char* name, bool fallback);
+
+}  // namespace tb::env

@@ -1,8 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <exception>
+
+#include "util/env.h"
 
 namespace tb {
 
@@ -79,13 +80,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("TOPOBENCH_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return std::size_t{0};
-  }());
+  // Strict single-point knob loading (util/env.h): TOPOBENCH_THREADS must
+  // be an integer in [0, 512] (0 = hardware concurrency) or pool creation
+  // throws — a fleet must fail loudly, not silently fall back to a default
+  // worker count.
+  static ThreadPool pool(static_cast<std::size_t>(
+      env::int_knob("TOPOBENCH_THREADS", 0, 0, 512)));
   return pool;
 }
 

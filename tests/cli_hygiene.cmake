@@ -1,11 +1,11 @@
-# CLI hygiene for the maintenance binaries (topobench_merge,
-# topobench_lint): --help/--version succeed and identify the tool, unknown
-# options and unreadable inputs exit 2 (usage/environment error), and
-# contract/lint findings exit 1 — so shell pipelines and CI jobs can tell
-# "you invoked me wrong" from "your inputs are wrong". Invoked by the
-# cli_hygiene CTest entry with -DMERGE_BIN, -DLINT_BIN, -DFIXTURES,
-# -DWORK_DIR.
-foreach(var MERGE_BIN LINT_BIN FIXTURES WORK_DIR)
+# CLI hygiene for the operational binaries (topobench_merge,
+# topobench_lint, topobench_server): --help/--version succeed and identify
+# the tool, unknown options and unreadable inputs exit 2 (usage/environment
+# error), and contract/lint/request findings exit 1 — so shell pipelines
+# and CI jobs can tell "you invoked me wrong" from "your inputs are wrong".
+# Invoked by the cli_hygiene CTest entry with -DMERGE_BIN, -DLINT_BIN,
+# -DSERVER_BIN, -DFIXTURES, -DWORK_DIR.
+foreach(var MERGE_BIN LINT_BIN SERVER_BIN FIXTURES WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "cli_hygiene.cmake needs -D${var}")
   endif()
@@ -77,3 +77,30 @@ check(NAME lint_json_findings EXPECT_RC 1 MATCH "\"rule\": \"seed-arith\""
   COMMAND ${LINT_BIN} --json ${FIXTURES}/seed_arith_pos.cpp)
 check(NAME lint_clean_exit_0 EXPECT_RC 0
   COMMAND ${LINT_BIN} ${FIXTURES}/seed_arith_neg.cpp)
+
+# --- topobench_server --------------------------------------------------
+check(NAME server_help EXPECT_RC 0 MATCH "usage: topobench_server"
+  COMMAND ${SERVER_BIN} --help)
+check(NAME server_version EXPECT_RC 0 MATCH "topobench_server "
+  COMMAND ${SERVER_BIN} --version)
+check(NAME server_unknown_option EXPECT_RC 2 MATCH "unknown option"
+  COMMAND ${SERVER_BIN} --definitely-not-an-option)
+check(NAME server_store_missing_value EXPECT_RC 2 MATCH "--store needs"
+  COMMAND ${SERVER_BIN} --store)
+file(WRITE ${WORK_DIR}/cli_hygiene_empty.txt "")
+check(NAME server_bad_store_dir EXPECT_RC 2 MATCH "open failed"
+  INPUT ${WORK_DIR}/cli_hygiene_empty.txt
+  COMMAND ${SERVER_BIN} --store ${WORK_DIR}/no_such_dir/x.store)
+
+# The hello handshake answers on clean EOF with protocol/version fields.
+file(WRITE ${WORK_DIR}/cli_hygiene_hello.jsonl "{\"op\": \"hello\"}\n")
+check(NAME server_hello EXPECT_RC 0 MATCH "\"protocol\": 1"
+  INPUT ${WORK_DIR}/cli_hygiene_hello.jsonl
+  COMMAND ${SERVER_BIN})
+
+# A malformed request is answered in-band and turns the exit code to 1 —
+# the invocation was fine, the request was not.
+file(WRITE ${WORK_DIR}/cli_hygiene_garbage.jsonl "definitely not json\n")
+check(NAME server_bad_request EXPECT_RC 1 MATCH "\"ok\": false"
+  INPUT ${WORK_DIR}/cli_hygiene_garbage.jsonl
+  COMMAND ${SERVER_BIN})

@@ -94,7 +94,7 @@ std::vector<std::string> shard_emissions(const exp::Sweep& sweep,
   for (std::size_t i = 0; i < n; ++i) {
     exp::Runner runner;
     exp::RunOptions opts;
-    opts.shard = {i, n};
+    opts.shard = exp::ShardSpec{i, n};
     std::ostringstream os;
     runner.run(sweep, opts).emit(os, caption);
     slices.push_back(os.str());
@@ -324,7 +324,7 @@ TEST(ShardMerge, SharedRunnerAcrossShardsChangesNothing) {
     for (std::size_t k = 0; k < 4; ++k) {
       const std::size_t i = reversed ? 3 - k : k;
       exp::RunOptions opts;
-      opts.shard = {i, 4};
+      opts.shard = exp::ShardSpec{i, 4};
       std::ostringstream os;
       shared.run(sweep, opts).emit(os, "grid");
       slices[i] = os.str();
@@ -439,9 +439,9 @@ TEST(ShardRun, MalformedEnvKnobFailsTheRunLoudly) {
 TEST(ShardRun, ProgrammaticInvalidSpecThrows) {
   exp::Runner runner;
   exp::RunOptions opts;
-  opts.shard = {3, 2};
+  opts.shard = exp::ShardSpec{3, 2};
   EXPECT_THROW((void)runner.run(grid_sweep(), opts), std::invalid_argument);
-  opts.shard = {0, 0};
+  opts.shard = exp::ShardSpec{0, 0};
   EXPECT_THROW((void)runner.run(grid_sweep(), opts), std::invalid_argument);
 }
 
@@ -455,7 +455,7 @@ TEST(ShardRun, CacheKeysUseGlobalCellIndices) {
 
   exp::Runner runner;
   exp::RunOptions opts;
-  opts.shard = {1, 3};  // cells [2, 4)
+  opts.shard = exp::ShardSpec{1, 3};  // cells [2, 4)
   (void)runner.run(sweep, opts);
   EXPECT_EQ(runner.cache_stats().misses, 2u);
   const exp::ResultSet full = runner.run(sweep);
@@ -475,7 +475,7 @@ TEST(ShardRun, WarmChainsCrossingTheBoundaryRunWholeButReturnTheRange) {
   // the two in-range cells come back — bitwise the unsharded middle rows.
   exp::Runner runner;
   exp::RunOptions opts;
-  opts.shard = {1, 3};
+  opts.shard = exp::ShardSpec{1, 3};
   const exp::ResultSet slice = runner.run(sweep, opts);
   EXPECT_EQ(runner.cache_stats().misses, 6u);
   ASSERT_EQ(slice.size(), 2u);
@@ -500,7 +500,7 @@ TEST(ShardRun, EmptyShardEmitsAMergeableEmptySlice) {
   const exp::Sweep sweep = grid_sweep();
   exp::Runner runner;
   exp::RunOptions opts;
-  opts.shard = {6, 7};  // 6 cells, 7 shards: shard 6 is empty
+  opts.shard = exp::ShardSpec{6, 7};  // 6 cells, 7 shards: shard 6 is empty
   const exp::ResultSet slice = runner.run(sweep, opts);
   EXPECT_EQ(slice.size(), 0u);
   ASSERT_TRUE(slice.slice().has_value());

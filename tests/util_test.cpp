@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/env.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -255,6 +257,91 @@ TEST(ThreadPool, NestedParallelForAcrossDistinctPoolsRunsInline) {
       EXPECT_EQ(sequence[i][j], static_cast<int>(j)) << i;
     }
   }
+}
+
+
+TEST(EnvKnobs, IntKnobParsesClampsAndRejects) {
+  ::unsetenv("TOPOBENCH_TEST_KNOB");
+  EXPECT_EQ(env::int_knob("TOPOBENCH_TEST_KNOB", 7, 0, 512), 7);
+  ::setenv("TOPOBENCH_TEST_KNOB", "12", 1);
+  EXPECT_EQ(env::int_knob("TOPOBENCH_TEST_KNOB", 7, 0, 512), 12);
+  for (const char* bad : {"", " ", "abc", "3x", "1.5", "-1", "513"}) {
+    ::setenv("TOPOBENCH_TEST_KNOB", bad, 1);
+    EXPECT_THROW(env::int_knob("TOPOBENCH_TEST_KNOB", 7, 0, 512),
+                 std::invalid_argument)
+        << '"' << bad << '"';
+  }
+  ::unsetenv("TOPOBENCH_TEST_KNOB");
+}
+
+TEST(EnvKnobs, FlagKnobIsStrictZeroOne) {
+  ::unsetenv("TOPOBENCH_TEST_FLAG");
+  EXPECT_FALSE(env::flag_knob("TOPOBENCH_TEST_FLAG", false));
+  EXPECT_TRUE(env::flag_knob("TOPOBENCH_TEST_FLAG", true));
+  ::setenv("TOPOBENCH_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env::flag_knob("TOPOBENCH_TEST_FLAG", false));
+  ::setenv("TOPOBENCH_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env::flag_knob("TOPOBENCH_TEST_FLAG", true));
+  for (const char* bad : {"", "true", "yes", "2"}) {
+    ::setenv("TOPOBENCH_TEST_FLAG", bad, 1);
+    EXPECT_THROW(env::flag_knob("TOPOBENCH_TEST_FLAG", false),
+                 std::invalid_argument)
+        << '"' << bad << '"';
+  }
+  ::unsetenv("TOPOBENCH_TEST_FLAG");
+}
+
+TEST(Json, ParsesScalarsArraysAndOrderedObjects) {
+  const json::Value v = json::parse(
+      R"({"b": 1, "a": [true, null, "x\u00e9", -2.5], "b2": {"n": 3}})");
+  ASSERT_EQ(v.kind, json::Kind::Object);
+  EXPECT_EQ(v.members[0].first, "b");   // document order preserved
+  EXPECT_EQ(v.members[1].first, "a");
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 4u);
+  EXPECT_TRUE(a->items[0].as_bool("x"));
+  EXPECT_EQ(a->items[1].kind, json::Kind::Null);
+  EXPECT_EQ(a->items[2].as_string("x"), "x\xc3\xa9");
+  EXPECT_EQ(a->items[3].as_number("x"), -2.5);
+  EXPECT_EQ(v.find("b2")->find("n")->as_int("n", 0, 10), 3);
+}
+
+TEST(Json, DumpIsDeterministicAndRoundTrips) {
+  json::Value o = json::Value::object();
+  o.set("z", json::Value::number_v(0.1));
+  o.set("a", json::Value::string_v("tab\there \"quote\""));
+  json::Value arr = json::Value::array();
+  arr.items.push_back(json::Value::boolean_v(false));
+  arr.items.push_back(json::Value::null());
+  o.set("list", std::move(arr));
+  const std::string text = json::dump(o);
+  EXPECT_EQ(text,
+            "{\"z\": 0.10000000000000001, "
+            "\"a\": \"tab\\there \\\"quote\\\"\", "
+            "\"list\": [false, null]}");
+  EXPECT_EQ(json::dump(json::parse(text)), text);  // insertion order kept
+}
+
+TEST(Json, RejectsMalformedDocumentsLoudly) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "01", "1 2", "\"unterminated",
+        "nul", "{\"a\": }", "[1, 2"}) {
+    EXPECT_THROW(json::parse(bad), std::invalid_argument) << '"' << bad << '"';
+  }
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(json::parse(deep), std::invalid_argument);
+}
+
+TEST(Json, CheckedAccessorsNameTheField) {
+  const json::Value v = json::parse(R"({"n": 1.5})");
+  EXPECT_THROW(v.find("n")->as_string("n"), std::invalid_argument);
+  EXPECT_THROW(v.find("n")->as_int("n", 0, 10), std::invalid_argument);
+  EXPECT_EQ(v.find("n")->as_number("n"), 1.5);
 }
 
 TEST(ThreadPool, SingleWorkerRunsInline) {
