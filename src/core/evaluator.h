@@ -52,12 +52,17 @@ struct CutBoundOptions {
   bool include_bisection = true; ///< also offer the balanced-cut estimate
   std::uint64_t seed = 1;        ///< sampling stream (the runner derives a
                                  ///< per-cell seed; see exp/runner.h)
+  int solver_threads = 0;        ///< flow::FlowOptions::threads for the exact
+                                 ///< members (0 = shared pool, 1 = serial,
+                                 ///< N = dedicated pool); never changes the
+                                 ///< bound, only its wall clock
 };
 
 struct CutBoundResult {
   double bound = 0.0;    ///< lowest cut sparsity found: throughput <= bound
   std::string method;    ///< winning estimator ("st-mincut", "bisection", ...)
   cuts::CutBound kind = cuts::CutBound::Upper;  ///< certificate of `bound`
+  flow::MaxFlowStats flow_stats;  ///< max-flow work across all estimators
 };
 
 /// Best (lowest) cut-based throughput upper bound for (net, tm): the full

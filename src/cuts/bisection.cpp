@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "cuts/exact_cuts.h"
+#include "flow/cut_battery.h"
 #include "flow/min_cut.h"
 #include "graph/partition.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tb::cuts {
 namespace {
@@ -72,19 +74,28 @@ void rebalance(const Graph& g, std::vector<std::uint8_t>& side) {
 /// candidate partitions that random-restart KL tends to miss when the
 /// bottleneck is far from every random start.
 std::vector<std::vector<std::uint8_t>> st_seeded_bisections(
-    const Graph& g, const TrafficMatrix& tm, int st_pairs,
-    std::uint64_t seed) {
+    const Graph& g, const TrafficMatrix& tm, int st_pairs, std::uint64_t seed,
+    const flow::FlowOptions& flow, flow::MaxFlowStats& stats) {
   const std::vector<std::pair<int, int>> pairs = sample_demand_pairs(
       distinct_demand_pairs(tm), st_pairs, mix_seed(seed, 0x57C));
-  std::vector<std::vector<std::uint8_t>> out;
+  std::vector<std::vector<std::uint8_t>> out(pairs.size());
   if (pairs.empty()) return out;
-  flow::FlowNetwork net = flow::FlowNetwork::from_graph(g);
-  for (const auto& [s, t] : pairs) {
-    std::vector<std::uint8_t> side =
-        flow::st_min_cut(g, net, s, t).source_side;
+  const std::vector<flow::StCut> cuts = flow::CutBattery(g, flow).solve(pairs);
+  for (const flow::StCut& cut : cuts) stats.add(cut.stats);
+  // Each refinement writes only its own pair's slot, so the schedule
+  // cannot reorder or mix candidates.
+  const auto refine = [&](std::size_t i) {
+    std::vector<std::uint8_t> side = cuts[i].source_side;
     rebalance(g, side);
     kernighan_lin_refine(g, side);
-    out.push_back(std::move(side));
+    out[i] = std::move(side);
+  };
+  const auto [parallel, pool] = flow::resolve_flow_pool(flow);
+  if (parallel && out.size() > 1) {
+    ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+    p.parallel_for(0, out.size(), refine);
+  } else {
+    for (std::size_t i = 0; i < out.size(); ++i) refine(i);
   }
   return out;
 }
@@ -93,7 +104,8 @@ std::vector<std::vector<std::uint8_t>> st_seeded_bisections(
 
 CutResult bisection_sparsity(const Graph& g, const TrafficMatrix& tm,
                              int exact_max, int kl_restarts,
-                             std::uint64_t seed, int st_pairs) {
+                             std::uint64_t seed, int st_pairs,
+                             const flow::FlowOptions& flow) {
   const int n = g.num_nodes();
   CutResult best;
   best.method = "bisection";
@@ -112,8 +124,8 @@ CutResult bisection_sparsity(const Graph& g, const TrafficMatrix& tm,
     const BipartitionResult part = min_bisection(g, kl_restarts, seed);
     best.side = part.side;
     best.sparsity = cut_sparsity(g, tm, part.side);
-    for (std::vector<std::uint8_t>& side :
-         st_seeded_bisections(g, tm, st_pairs, seed)) {
+    for (std::vector<std::uint8_t>& side : st_seeded_bisections(
+             g, tm, st_pairs, seed, flow, best.flow_stats)) {
       const double s = cut_sparsity(g, tm, side);
       if (s < best.sparsity) {
         best.sparsity = s;

@@ -12,15 +12,20 @@
 #include <cstdint>
 
 #include "cuts/sparsest_cut.h"
+#include "flow/max_flow.h"
 #include "graph/graph.h"
 #include "tm/traffic_matrix.h"
 
 namespace tb::cuts {
 
 /// TM-relative bisection: min sparsity over balanced (n/2, n/2 +-1) cuts.
+/// The st-seeded candidates run on the flow::CutBattery configured by
+/// `flow` (rebalance + KL refinement parallelized per pair, merged in pair
+/// order) — same result at any thread count.
 CutResult bisection_sparsity(const Graph& g, const TrafficMatrix& tm,
                              int exact_max = 18, int kl_restarts = 8,
-                             std::uint64_t seed = 1, int st_pairs = 4);
+                             std::uint64_t seed = 1, int st_pairs = 4,
+                             const flow::FlowOptions& flow = {});
 
 /// Raw bisection bandwidth in capacity units (no TM): min capacity over
 /// balanced cuts.

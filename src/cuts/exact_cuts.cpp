@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "flow/cut_battery.h"
 #include "flow/min_cut.h"
 #include "util/rng.h"
 
@@ -43,7 +44,8 @@ std::vector<std::pair<int, int>> sample_demand_pairs(
 }
 
 CutResult sparsest_cut_st_mincut(const Graph& g, const TrafficMatrix& tm,
-                                 int max_pairs, std::uint64_t seed) {
+                                 int max_pairs, std::uint64_t seed,
+                                 const flow::FlowOptions& flow) {
   CutResult best;
   best.method = "st-mincut";
   best.sparsity = kInf;
@@ -55,9 +57,9 @@ CutResult sparsest_cut_st_mincut(const Graph& g, const TrafficMatrix& tm,
   best.bound =
       single_pair && !pairs.empty() ? CutBound::Exact : CutBound::Upper;
   if (pairs.empty()) return best;
-  flow::FlowNetwork net = flow::FlowNetwork::from_graph(g);
-  for (const auto& [s, t] : pairs) {
-    const flow::StCut cut = flow::st_min_cut(g, net, s, t);
+  const std::vector<flow::StCut> cuts = flow::CutBattery(g, flow).solve(pairs);
+  for (const flow::StCut& cut : cuts) {
+    best.flow_stats.add(cut.stats);
     // cut_sparsity wants 0/1 membership; orientation is immaterial (it
     // takes the min over both directions).
     const double sparsity = cut_sparsity(g, tm, cut.source_side);
@@ -70,7 +72,8 @@ CutResult sparsest_cut_st_mincut(const Graph& g, const TrafficMatrix& tm,
 }
 
 CutResult sparsest_cut_flow_lower_bound(const Graph& g,
-                                        const TrafficMatrix& tm) {
+                                        const TrafficMatrix& tm,
+                                        const flow::FlowOptions& flow) {
   CutResult r;
   r.method = "flow-lower-bound";
   r.bound = CutBound::Lower;
@@ -79,9 +82,10 @@ CutResult sparsest_cut_flow_lower_bound(const Graph& g,
     r.sparsity = kInf;
     return r;
   }
-  const flow::StCut gmc = flow::global_min_cut(g);
+  const flow::StCut gmc = flow::global_min_cut(g, flow);
   r.sparsity = gmc.value / total;
   r.side = gmc.source_side;
+  r.flow_stats = gmc.stats;
   return r;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cuts/sparsest_cut.h"
+#include "flow/max_flow.h"
 #include "graph/graph.h"
 #include "tm/traffic_matrix.h"
 
@@ -35,8 +36,12 @@ std::vector<std::pair<int, int>> sample_demand_pairs(
 /// demands connect a single unordered pair — every cut with crossing
 /// demand then separates that pair and carries the same demand, so the
 /// min cut minimizes sparsity — and CutBound::Upper otherwise.
+/// The pairs are solved concurrently on a flow::CutBattery configured by
+/// `flow`, with the sparsity evaluation and best-cut reduction in pair
+/// order — bitwise identical to the serial loop at any thread count.
 CutResult sparsest_cut_st_mincut(const Graph& g, const TrafficMatrix& tm,
-                                 int max_pairs = 8, std::uint64_t seed = 1);
+                                 int max_pairs = 8, std::uint64_t seed = 1,
+                                 const flow::FlowOptions& flow = {});
 
 /// Certified lower bound on the sparsest-cut value: every cut has capacity
 /// >= the global min cut and crossing demand <= the total demand, so
@@ -44,6 +49,7 @@ CutResult sparsest_cut_st_mincut(const Graph& g, const TrafficMatrix& tm,
 /// `side` holds the global min cut (which attains the capacity, not
 /// necessarily the bound). Infinite on an empty TM.
 CutResult sparsest_cut_flow_lower_bound(const Graph& g,
-                                        const TrafficMatrix& tm);
+                                        const TrafficMatrix& tm,
+                                        const flow::FlowOptions& flow = {});
 
 }  // namespace tb::cuts

@@ -174,7 +174,8 @@ CutResult sparsest_cut_eigenvector(const Graph& g, const TrafficMatrix& tm) {
 
 SparseCutSurvey best_sparse_cut(const Graph& g, const TrafficMatrix& tm,
                                 long brute_force_cap, int st_pairs,
-                                std::uint64_t seed) {
+                                std::uint64_t seed,
+                                const flow::FlowOptions& flow) {
   SparseCutSurvey survey;
   std::vector<CutResult> results;
   results.push_back(sparsest_cut_brute_force(g, tm, brute_force_cap));
@@ -182,11 +183,12 @@ SparseCutSurvey best_sparse_cut(const Graph& g, const TrafficMatrix& tm,
   results.push_back(sparsest_cut_two_node(g, tm));
   results.push_back(sparsest_cut_expanding(g, tm));
   results.push_back(sparsest_cut_eigenvector(g, tm));
-  results.push_back(sparsest_cut_st_mincut(g, tm, st_pairs, seed));
+  results.push_back(sparsest_cut_st_mincut(g, tm, st_pairs, seed, flow));
 
   survey.best.sparsity = kInf;
   for (const CutResult& r : results) {
     survey.per_method.emplace_back(r.method, r.sparsity);
+    survey.flow_stats.add(r.flow_stats);
     if (r.sparsity < survey.best.sparsity) survey.best = r;
   }
   // An exact member certifies the true optimum; the winning value then IS

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "flow/max_flow.h"
 #include "graph/graph.h"
 #include "tm/traffic_matrix.h"
 
@@ -37,6 +38,9 @@ struct CutResult {
   std::vector<std::uint8_t> side;  ///< 0/1 membership
   std::string method;
   CutBound bound = CutBound::Upper;
+  /// Max-flow work the estimator spent (zero for pure heuristics), summed
+  /// over its solves in index order — CSV telemetry, never result-bearing.
+  flow::MaxFlowStats flow_stats;
 };
 
 /// Sparsity of one cut. Directed: min over both orientations of
@@ -64,15 +68,19 @@ struct SparseCutSurvey {
   CutResult best;
   std::vector<std::pair<std::string, double>> per_method;  ///< method -> value
   std::vector<std::string> winners;  ///< methods matching the best value
+  flow::MaxFlowStats flow_stats;     ///< max-flow work across all members
 };
 
 /// Run the full estimator battery — the Appendix C heuristics plus the
 /// exact sampled s-t min cuts of exact_cuts.h ("st-mincut", `st_pairs`
 /// terminal pairs drawn from `seed`) — and report the best cut. The best
 /// result is tagged CutBound::Exact when any exact member certified the
-/// optimum (complete brute force, or a single-pair TM).
+/// optimum (complete brute force, or a single-pair TM). `flow` configures
+/// the exact members' cut battery / solver threading; it never changes the
+/// survey's results, only how fast the flow solves run.
 SparseCutSurvey best_sparse_cut(const Graph& g, const TrafficMatrix& tm,
                                 long brute_force_cap = 10'000,
-                                int st_pairs = 8, std::uint64_t seed = 1);
+                                int st_pairs = 8, std::uint64_t seed = 1,
+                                const flow::FlowOptions& flow = {});
 
 }  // namespace tb::cuts

@@ -18,9 +18,9 @@ constexpr const char* kCsvHeader =
     "cell,topology,servers,switches,tm,seed,solver,trials,throughput,"
     "random_mean,random_ci95,relative,relative_ci95,cut_bound,cut_gap,"
     "cut_method,scenario,failed_links,throughput_drop,pivots,phases,"
-    "dijkstras,warm,solver_threads";
+    "dijkstras,pushes,relabels,global_relabels,warm,solver_threads";
 
-constexpr std::size_t kNumColumns = 24;
+constexpr std::size_t kNumColumns = 27;
 
 /// failed_links uses -1 as its NA sentinel (0 is a real count).
 std::string int_or_na(int v) { return v < 0 ? "na" : std::to_string(v); }
@@ -152,8 +152,9 @@ std::string csv_row(const CellResult& r) {
       << num(r.cut_bound) << ',' << num(r.cut_gap) << ','
       << csv_quote(r.cut_method) << ',' << csv_quote(r.scenario) << ','
       << int_or_na(r.failed_links) << ',' << num(r.throughput_drop) << ','
-      << r.pivots << ',' << r.phases << ',' << r.dijkstras << ',' << r.warm
-      << ',' << r.solver_threads;
+      << r.pivots << ',' << r.phases << ',' << r.dijkstras << ',' << r.pushes
+      << ',' << r.relabels << ',' << r.global_relabels << ',' << r.warm << ','
+      << r.solver_threads;
   return out.str();
 }
 
@@ -194,8 +195,11 @@ CellResult cell_from_csv_row(const std::string& row) {
   r.pivots = std::strtol(f[19].c_str(), nullptr, 10);
   r.phases = std::strtol(f[20].c_str(), nullptr, 10);
   r.dijkstras = std::strtol(f[21].c_str(), nullptr, 10);
-  r.warm = static_cast<int>(std::strtol(f[22].c_str(), nullptr, 10));
-  r.solver_threads = static_cast<int>(std::strtol(f[23].c_str(), nullptr, 10));
+  r.pushes = std::strtol(f[22].c_str(), nullptr, 10);
+  r.relabels = std::strtol(f[23].c_str(), nullptr, 10);
+  r.global_relabels = std::strtol(f[24].c_str(), nullptr, 10);
+  r.warm = static_cast<int>(std::strtol(f[25].c_str(), nullptr, 10));
+  r.solver_threads = static_cast<int>(std::strtol(f[26].c_str(), nullptr, 10));
   return r;
 }
 
@@ -237,7 +241,10 @@ std::string ResultSet::to_json() const {
                                : std::to_string(r.failed_links))
         << ", \"throughput_drop\": " << json_num(r.throughput_drop)
         << ", \"pivots\": " << r.pivots << ", \"phases\": " << r.phases
-        << ", \"dijkstras\": " << r.dijkstras << ", \"warm\": " << r.warm
+        << ", \"dijkstras\": " << r.dijkstras << ", \"pushes\": " << r.pushes
+        << ", \"relabels\": " << r.relabels
+        << ", \"global_relabels\": " << r.global_relabels
+        << ", \"warm\": " << r.warm
         << ", \"solver_threads\": " << r.solver_threads << "}"
         << (i + 1 < rows_.size() ? "," : "") << '\n';
   }
@@ -304,8 +311,8 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
                  "solver", "trials", "throughput", "random_mean",
                  "random_ci95", "relative", "relative_ci95", "cut_bound",
                  "cut_gap", "cut_method", "scenario", "failed_links",
-                 "throughput_drop", "pivots", "phases", "dijkstras", "warm",
-                 "solver_threads"});
+                 "throughput_drop", "pivots", "phases", "dijkstras", "pushes",
+                 "relabels", "global_relabels", "warm", "solver_threads"});
     for (const CellResult& r : rows_) {
       table.add_row({std::to_string(r.cell), r.topology,
                      std::to_string(r.servers), std::to_string(r.switches),
@@ -318,7 +325,9 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
                      r.scenario.empty() ? "na" : r.scenario,
                      int_or_na(r.failed_links), num_short(r.throughput_drop),
                      std::to_string(r.pivots), std::to_string(r.phases),
-                     std::to_string(r.dijkstras), std::to_string(r.warm),
+                     std::to_string(r.dijkstras), std::to_string(r.pushes),
+                     std::to_string(r.relabels),
+                     std::to_string(r.global_relabels), std::to_string(r.warm),
                      std::to_string(r.solver_threads)});
     }
     table.print(os, caption);

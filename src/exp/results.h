@@ -55,11 +55,17 @@ struct CellResult {
   long pivots = 0;
   long phases = 0;
   long dijkstras = 0;
+  // Max-flow work counters of the cell's cut-bound estimators (see
+  // flow::MaxFlowStats): zero when the sweep computes no cut bounds.
+  long pushes = 0;
+  long relabels = 0;
+  long global_relabels = 0;
   int warm = 0;
-  // Intra-solve threading configuration of the cell's solves (the
-  // requested SolveOptions::solver_threads — 0 means the shared pool), not
-  // a measured worker count: results stay byte-identical across machines
-  // and pool sizes, which the determinism entries rely on.
+  // Intra-solve threading configuration of the cell's solves (the sweep
+  // spec's SolveOptions::solver_threads — 0 means the shared pool), not a
+  // measured worker count, and not the TOPOBENCH_SOLVER_THREADS execution
+  // override: results stay byte-identical across machines, pool sizes and
+  // env threading knobs, which the determinism entries rely on.
   int solver_threads = 0;
 };
 

@@ -213,7 +213,14 @@ CellResult Runner::eval_cell(const Sweep& sweep,
     // trial, so enabling cut bounds perturbs no existing column.
     CutBoundOptions cb = sweep.cut_bound_opts;
     cb.seed = mix_seed(cell_seed, static_cast<std::uint64_t>(r.trials) + 1);
+    // Mirror the mcf engine's threading gate: a non-parallel solve keeps
+    // the cut estimators serial too. Never result-bearing (the battery is
+    // thread-invariant), so the fingerprint ignores it like `parallel`.
+    cb.solver_threads = solve.parallel ? solve.solver_threads : 1;
     const CutBoundResult cut = cut_upper_bound(net, tm, cb);
+    r.pushes = cut.flow_stats.pushes;
+    r.relabels = cut.flow_stats.relabels;
+    r.global_relabels = cut.flow_stats.global_relabels;
     r.cut_bound = cut.bound;
     r.cut_gap = r.throughput > 0.0
                     ? cut.bound / r.throughput
@@ -301,7 +308,8 @@ ResultSet Runner::run_impl(const Sweep& sweep, const RunOptions& opts,
   const CellRange range = shard_range(cells.size(), shard);
   // RunOptions::solver_threads seeds the intra-solve threading knob when
   // the sweep leaves it at 0; never part of cache identity (results are
-  // thread-invariant by the solver determinism contracts).
+  // thread-invariant by the solver determinism contracts) and never
+  // recorded — the solver_threads column echoes sweep.solve below.
   mcf::SolveOptions solve = sweep.solve;
   if (solve.solver_threads == 0) {
     solve.solver_threads = opts.solver_threads;
@@ -343,9 +351,10 @@ ResultSet Runner::run_impl(const Sweep& sweep, const RunOptions& opts,
         if (const CellResult* hit = probe(c)) {
           out[c.index] = *hit;
           out[c.index].cell = c.index;
-          // The column echoes the *requested* configuration (results.h);
-          // the cached row may have been computed under a different one.
-          out[c.index].solver_threads = solve.solver_threads;
+          // The column echoes the *sweep-requested* configuration
+          // (results.h); the cached row may have been computed under a
+          // different one.
+          out[c.index].solver_threads = sweep.solve.solver_threads;
         } else {
           misses.push_back(c.index);
         }
@@ -373,7 +382,7 @@ ResultSet Runner::run_impl(const Sweep& sweep, const RunOptions& opts,
             const CellResult* hit = probe(c);
             out[c.index] = *hit;
             out[c.index].cell = c.index;
-            out[c.index].solver_threads = solve.solver_threads;
+            out[c.index].solver_threads = sweep.solve.solver_threads;
           } else {
             misses.push_back(c.index);
           }
@@ -470,6 +479,16 @@ ResultSet Runner::run_impl(const Sweep& sweep, const RunOptions& opts,
     } else {
       for (std::size_t k = 0; k < chain_topos.size(); ++k) eval_chain(k);
     }
+  }
+
+  // The solver_threads column echoes the sweep's requested configuration,
+  // never the execution-time merge above: TOPOBENCH_SOLVER_THREADS (like
+  // TOPOBENCH_THREADS) is a pure execution knob, and the determinism
+  // entries require it to move no CSV byte. Normalizing before the
+  // write-through also keeps stored bytes identical across env settings
+  // (ResultStore::put throws on a byte mismatch for the same key).
+  for (const std::size_t index : misses) {
+    out[index].solver_threads = sweep.solve.solver_threads;
   }
 
   {

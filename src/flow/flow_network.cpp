@@ -43,6 +43,8 @@ int FlowNetwork::add_arc_pair(int u, int v, double cap_uv, double cap_vu) {
 void FlowNetwork::finalize() {
   if (finalized_) return;
   res_ = cap_;
+  dirty_.assign(cap_.size(), 0);
+  touched_.clear();
   offset_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
   for (const int u : tail_) ++offset_[static_cast<std::size_t>(u) + 1];
   for (std::size_t v = 1; v < offset_.size(); ++v) offset_[v] += offset_[v - 1];

@@ -11,6 +11,7 @@
 // res(a)), so opposite pushes cancel as they must on an undirected edge.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -65,7 +66,12 @@ class FlowNetwork {
   }
 
   /// Move `delta` units of residual capacity from arc a to its reverse.
+  /// Records both arcs as touched so reset() reverts only what a solve
+  /// actually moved (repeated s-t solves on one network are O(arcs pushed),
+  /// not O(arcs)).
   void push(int a, double delta) {
+    touch(a);
+    touch(a ^ 1);
     res_[static_cast<std::size_t>(a)] -= delta;
     res_[static_cast<std::size_t>(a ^ 1)] += delta;
   }
@@ -90,9 +96,29 @@ class FlowNetwork {
 
   /// Restore residual capacities to the original capacities (re-solve the
   /// same network for a different terminal pair without rebuilding).
-  void reset() { res_ = cap_; }
+  /// Reverts exactly the arcs touched since finalize()/the last reset —
+  /// bitwise identical to the full `res_ = cap_` copy it replaces, since
+  /// an untouched arc still holds its capacity.
+  void reset() {
+    if (!finalized_) {  // pre-CSR state: res_ is rebuilt by finalize()
+      res_ = cap_;
+      return;
+    }
+    for (const int a : touched_) {
+      res_[static_cast<std::size_t>(a)] = cap_[static_cast<std::size_t>(a)];
+      dirty_[static_cast<std::size_t>(a)] = 0;
+    }
+    touched_.clear();
+  }
 
  private:
+  void touch(int a) {
+    if (!dirty_[static_cast<std::size_t>(a)]) {
+      dirty_[static_cast<std::size_t>(a)] = 1;
+      touched_.push_back(a);
+    }
+  }
+
   int num_nodes_ = 0;
   std::vector<int> tail_;
   std::vector<int> head_;
@@ -102,6 +128,9 @@ class FlowNetwork {
   // CSR: adj_ holds arc ids grouped by tail node.
   std::vector<int> offset_;
   std::vector<int> adj_;
+  // Touched-arc tracking for reset(): dirty_ flags + insertion-ordered ids.
+  std::vector<std::uint8_t> dirty_;
+  std::vector<int> touched_;
   bool finalized_ = false;
 };
 

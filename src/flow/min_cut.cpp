@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "flow/cut_battery.h"
+
 namespace tb::flow {
 namespace {
 
@@ -72,6 +74,22 @@ StCut st_min_cut(const Graph& g, FlowNetwork& net, int s, int t,
   return extract_cut(g, net, s, value, stats);
 }
 
+StCut st_min_cut(const Graph& g, int s, int t, const FlowOptions& opts) {
+  FlowNetwork net = FlowNetwork::from_graph(g);
+  return st_min_cut(g, net, s, t, opts);
+}
+
+StCut st_min_cut(const Graph& g, FlowNetwork& net, int s, int t,
+                 const FlowOptions& opts) {
+  if (net.num_nodes() != g.num_nodes() || net.num_arcs() != g.num_arcs()) {
+    throw std::invalid_argument("st_min_cut: network does not mirror graph");
+  }
+  net.reset();
+  MaxFlowStats stats;
+  const double value = max_flow(net, s, t, opts, &stats);
+  return extract_cut(g, net, s, value, stats);
+}
+
 StCut global_min_cut(const Graph& g, FlowAlgo algo) {
   if (g.num_nodes() < 2) {
     throw std::invalid_argument("global_min_cut: need at least two nodes");
@@ -90,6 +108,19 @@ StCut global_min_cut(const Graph& g, FlowAlgo algo) {
     }
   }
   return best;
+}
+
+StCut global_min_cut(const Graph& g, const FlowOptions& opts) {
+  if (g.num_nodes() < 2) {
+    throw std::invalid_argument("global_min_cut: need at least two nodes");
+  }
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(g.num_nodes()) - 1);
+  for (int t = 1; t < g.num_nodes(); ++t) pairs.emplace_back(0, t);
+  const CutBattery battery(g, opts);
+  std::vector<StCut> cuts = battery.solve(pairs);
+  const int best = CutBattery::best_index(cuts, battery.tolerance());
+  return std::move(cuts[static_cast<std::size_t>(best)]);
 }
 
 }  // namespace tb::flow

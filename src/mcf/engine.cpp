@@ -17,25 +17,13 @@ namespace tb::mcf {
 
 namespace {
 
-/// Process-shared dedicated solver pools, one per requested size. Engines
-/// (and their fleet forks) are constructed per solve or per scenario all
-/// over the stack, so pools must outlive any single engine — spawning and
-/// joining N threads per solve would dwarf small solves and pollute the
-/// parallel_scaling timings. Like ThreadPool::shared(), pools live for
-/// the process; distinct engines sharing a pool is safe (parallel_for
-/// only queues work) and cannot change results by the determinism
-/// contracts.
-ThreadPool& dedicated_pool(std::size_t threads) {
-  static std::mutex mu;
-  static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
-  const std::lock_guard<std::mutex> lock(mu);
-  std::unique_ptr<ThreadPool>& slot = pools[threads];
-  if (!slot) slot = std::make_unique<ThreadPool>(threads);
-  return *slot;
-}
-
 /// Resolve SolveOptions::solver_threads to the (parallel, pool) pair the
-/// solvers receive (null pool = ThreadPool::shared()).
+/// solvers receive (null pool = ThreadPool::shared()). Dedicated pools are
+/// the process-shared ThreadPool::dedicated ones — engines (and their
+/// fleet forks) are constructed per solve or per scenario all over the
+/// stack, so pools must outlive any single engine; spawning and joining N
+/// threads per solve would dwarf small solves and pollute the
+/// parallel_scaling timings.
 std::pair<bool, ThreadPool*> resolve_solver_pool(const SolveOptions& opts) {
   if (!opts.parallel || opts.solver_threads == 1) return {false, nullptr};
   if (opts.solver_threads <= 0) return {true, nullptr};  // shared pool
@@ -44,7 +32,8 @@ std::pair<bool, ThreadPool*> resolve_solver_pool(const SolveOptions& opts) {
     // a dedicated pool could never be used — don't spin up its threads.
     return {true, nullptr};
   }
-  return {true, &dedicated_pool(static_cast<std::size_t>(opts.solver_threads))};
+  return {true,
+          &ThreadPool::dedicated(static_cast<std::size_t>(opts.solver_threads))};
 }
 
 }  // namespace

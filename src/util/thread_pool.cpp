@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <map>
+#include <memory>
 
 #include "util/env.h"
 
@@ -87,6 +89,15 @@ ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(static_cast<std::size_t>(
       env::int_knob("TOPOBENCH_THREADS", 0, 0, 512)));
   return pool;
+}
+
+ThreadPool& ThreadPool::dedicated(std::size_t threads) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& slot = pools[threads];
+  if (!slot) slot = std::make_unique<ThreadPool>(threads);
+  return *slot;
 }
 
 void ThreadPool::worker_loop() {

@@ -62,6 +62,15 @@ class ThreadPool {
   /// keep nested parallel_for calls inline (see header comment).
   static bool in_worker() noexcept;
 
+  /// Process-shared dedicated pool of exactly `threads` workers, created on
+  /// first request and alive for the process (like shared()). Callers that
+  /// honor a `*_threads = N` knob (the MCF engines, the flow cut battery)
+  /// resolve N > 1 here so repeated solves reuse one pool instead of
+  /// spawning and joining N threads per solve. Distinct subsystems sharing
+  /// a pool is safe — parallel_for only queues work — and cannot change
+  /// results, by the determinism contracts.
+  static ThreadPool& dedicated(std::size_t threads);
+
  private:
   void worker_loop();
 

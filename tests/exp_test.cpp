@@ -187,6 +187,9 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   b.pivots = 123;
   b.phases = 456;
   b.dijkstras = 789;
+  b.pushes = 1011;
+  b.relabels = 1213;
+  b.global_relabels = 14;
   b.warm = 1;
   rs.add(b);
 
@@ -222,6 +225,9 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   EXPECT_EQ(rb.pivots, b.pivots);
   EXPECT_EQ(rb.phases, b.phases);
   EXPECT_EQ(rb.dijkstras, b.dijkstras);
+  EXPECT_EQ(rb.pushes, b.pushes);
+  EXPECT_EQ(rb.relabels, b.relabels);
+  EXPECT_EQ(rb.global_relabels, b.global_relabels);
   EXPECT_EQ(rb.warm, b.warm);
   // Re-serializing is byte-stable (the determinism the CTest diff relies on).
   EXPECT_EQ(back.to_csv(), csv);

@@ -1,0 +1,314 @@
+// The flow-level half of the PR-5 determinism contract: the CutBattery and
+// the parallel-discharge max-flow engine must be BITWISE identical to their
+// serial counterparts at every thread count. Every assertion here compares
+// exact doubles (EXPECT_EQ, never _NEAR) — "close" would hide a scheduling
+// leak. Suites are named ParallelFlow* so the tsan preset picks them up.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "cuts/bisection.h"
+#include "cuts/exact_cuts.h"
+#include "cuts/sparsest_cut.h"
+#include "flow/cut_battery.h"
+#include "flow/flow_network.h"
+#include "flow/max_flow.h"
+#include "flow/min_cut.h"
+#include "pool_test_env.h"
+#include "tm/synthetic.h"
+#include "util/rng.h"
+
+namespace tb {
+namespace {
+
+using flow::CutBattery;
+using flow::FlowAlgo;
+using flow::FlowNetwork;
+using flow::FlowOptions;
+using flow::MaxFlowStats;
+using flow::StCut;
+
+// Make the shared pool genuinely parallel before anything touches it.
+[[maybe_unused]] const int kForcePoolThreads = test_env::force_pool_threads();
+
+/// Connected random multigraph: a path backbone plus `extra` random edges
+/// with capacities in [0.25, 2).
+Graph random_graph(int n, int extra, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1, 0.25 + 1.75 * rng.next_double());
+  }
+  for (int e = 0; e < extra; ++e) {
+    const int u = static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(n)));
+    int v = static_cast<int>(rng.next_u64(static_cast<std::uint64_t>(n)));
+    if (u == v) v = (v + 1) % n;
+    g.add_edge(u, v, 0.25 + 1.75 * rng.next_double());
+  }
+  g.finalize();
+  return g;
+}
+
+void expect_stats_eq(const MaxFlowStats& a, const MaxFlowStats& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.pushes, b.pushes) << what;
+  EXPECT_EQ(a.relabels, b.relabels) << what;
+  EXPECT_EQ(a.global_relabels, b.global_relabels) << what;
+  EXPECT_EQ(a.gap_jumps, b.gap_jumps) << what;
+  EXPECT_EQ(a.augmenting_paths, b.augmenting_paths) << what;
+}
+
+void expect_cut_eq(const StCut& a, const StCut& b, const std::string& what) {
+  EXPECT_EQ(a.value, b.value) << what;  // exact, not near
+  EXPECT_EQ(a.cut_capacity, b.cut_capacity) << what;
+  EXPECT_EQ(a.source_side, b.source_side) << what;
+  EXPECT_EQ(a.cut_edges, b.cut_edges) << what;
+  expect_stats_eq(a.stats, b.stats, what);
+}
+
+/// The thread configurations every equivalence below must agree across:
+/// serial, the shared pool, and dedicated pools of 2 and 4 workers.
+std::vector<int> thread_ladder() { return {1, 0, 2, 4}; }
+
+TEST(ParallelFlow, StMinCutBitwiseAcrossThreadCounts) {
+  for (const Family f : all_families()) {
+    const Network net = family_representative(f, 16, /*seed=*/7);
+    const Graph& g = net.graph;
+    const int s = 0;
+    const int t = g.num_nodes() - 1;
+    const StCut serial = flow::st_min_cut(g, s, t);
+    for (const int threads : thread_ladder()) {
+      FlowOptions fo;
+      fo.algo = FlowAlgo::HighestLabel;
+      fo.threads = threads;
+      expect_cut_eq(flow::st_min_cut(g, s, t, fo), serial,
+                    family_name(f) + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelFlow, GlobalMinCutBitwiseAcrossThreadCounts) {
+  for (const Family f : all_families()) {
+    const Network net = family_representative(f, 16, /*seed=*/7);
+    const Graph& g = net.graph;
+    const StCut legacy = flow::global_min_cut(g);
+    for (const int threads : thread_ladder()) {
+      FlowOptions fo;
+      fo.algo = FlowAlgo::HighestLabel;
+      fo.threads = threads;
+      // The battery solves every pair the legacy loop may have skipped
+      // after an early zero-cut break, but the selected cut (stats
+      // included) must be the identical first minimum.
+      expect_cut_eq(flow::global_min_cut(g, fo), legacy,
+                    family_name(f) + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelFlow, BestSparseCutBitwiseAcrossThreadCounts) {
+  for (const Family f : all_families()) {
+    const Network net = family_representative(f, 16, /*seed=*/7);
+    const TrafficMatrix tm = all_to_all(net);
+    const cuts::SparseCutSurvey serial =
+        cuts::best_sparse_cut(net.graph, tm, 2'000, 6, 1);
+    for (const int threads : thread_ladder()) {
+      FlowOptions fo;
+      fo.threads = threads;
+      const cuts::SparseCutSurvey survey =
+          cuts::best_sparse_cut(net.graph, tm, 2'000, 6, 1, fo);
+      const std::string what =
+          family_name(f) + " threads=" + std::to_string(threads);
+      EXPECT_EQ(survey.best.sparsity, serial.best.sparsity) << what;
+      EXPECT_EQ(survey.best.side, serial.best.side) << what;
+      EXPECT_EQ(survey.best.method, serial.best.method) << what;
+      EXPECT_EQ(survey.best.bound, serial.best.bound) << what;
+      EXPECT_EQ(survey.per_method, serial.per_method) << what;
+      EXPECT_EQ(survey.winners, serial.winners) << what;
+      expect_stats_eq(survey.flow_stats, serial.flow_stats, what);
+    }
+  }
+}
+
+TEST(ParallelFlow, BisectionBitwiseAcrossThreadCounts) {
+  const Network net = family_representative(Family::Jellyfish, 48, /*seed=*/3);
+  const TrafficMatrix tm = all_to_all(net);
+  ASSERT_GT(net.graph.num_nodes(), 18);  // KL + st-seeded path, not exact
+  const cuts::CutResult serial = cuts::bisection_sparsity(net.graph, tm);
+  for (const int threads : thread_ladder()) {
+    FlowOptions fo;
+    fo.threads = threads;
+    const cuts::CutResult r =
+        cuts::bisection_sparsity(net.graph, tm, 18, 8, 1, 4, fo);
+    const std::string what = "threads=" + std::to_string(threads);
+    EXPECT_EQ(r.sparsity, serial.sparsity) << what;
+    EXPECT_EQ(r.side, serial.side) << what;
+    EXPECT_EQ(r.bound, serial.bound) << what;
+  }
+}
+
+TEST(ParallelFlow, BatteryMatchesSerialLoop) {
+  const Graph g = random_graph(36, 90, /*seed=*/11);
+  Rng rng(99);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 23; ++i) {  // deliberately not a multiple of a block
+    const int s = static_cast<int>(rng.next_u64(36));
+    int t = static_cast<int>(rng.next_u64(36));
+    if (s == t) t = (t + 1) % 36;
+    pairs.emplace_back(s, t);
+  }
+  // Reference: the pre-battery idiom — one reused network, serial loop.
+  FlowNetwork net = FlowNetwork::from_graph(g);
+  std::vector<StCut> loop;
+  for (const auto& [s, t] : pairs) {
+    loop.push_back(flow::st_min_cut(g, net, s, t));
+  }
+  for (const int threads : thread_ladder()) {
+    FlowOptions fo;
+    fo.algo = FlowAlgo::HighestLabel;
+    fo.threads = threads;
+    const std::vector<StCut> cuts = CutBattery(g, fo).solve(pairs);
+    ASSERT_EQ(cuts.size(), loop.size());
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+      expect_cut_eq(cuts[i], loop[i],
+                    "pair " + std::to_string(i) + " threads=" +
+                        std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelFlow, BestIndexMatchesSerialSelection) {
+  const Graph g = random_graph(20, 40, /*seed=*/5);
+  std::vector<std::pair<int, int>> pairs;
+  for (int t = 1; t < g.num_nodes(); ++t) pairs.emplace_back(0, t);
+  const CutBattery battery(g);
+  const std::vector<StCut> cuts = battery.solve(pairs);
+  const int best = CutBattery::best_index(cuts, battery.tolerance());
+  ASSERT_GE(best, 0);
+  // First strict minimum: nothing before it is as small.
+  for (int i = 0; i < best; ++i) {
+    EXPECT_GT(cuts[static_cast<std::size_t>(i)].value,
+              cuts[static_cast<std::size_t>(best)].value);
+  }
+  expect_cut_eq(cuts[static_cast<std::size_t>(best)], flow::global_min_cut(g),
+                "best_index vs legacy global_min_cut");
+  EXPECT_EQ(CutBattery::best_index({}, battery.tolerance()), -1);
+}
+
+TEST(ParallelFlow, TouchedArcResetRestoresCapacitiesExactly) {
+  const Graph g = random_graph(30, 80, /*seed=*/21);
+  FlowNetwork net = FlowNetwork::from_graph(g);
+  (void)flow::max_flow(net, 0, g.num_nodes() - 1);
+  net.reset();
+  for (int a = 0; a < net.num_arcs(); ++a) {
+    EXPECT_EQ(net.residual(a), net.capacity(a)) << "arc " << a;
+  }
+  // A reused (reset) network must be indistinguishable from a fresh one.
+  FlowNetwork fresh = FlowNetwork::from_graph(g);
+  MaxFlowStats reused_stats;
+  MaxFlowStats fresh_stats;
+  const double reused = flow::max_flow(net, 1, 7, FlowAlgo::HighestLabel,
+                                       &reused_stats);
+  const double first = flow::max_flow(fresh, 1, 7, FlowAlgo::HighestLabel,
+                                      &fresh_stats);
+  EXPECT_EQ(reused, first);
+  expect_stats_eq(reused_stats, fresh_stats, "reused vs fresh");
+  for (int a = 0; a < net.num_arcs(); ++a) {
+    EXPECT_EQ(net.residual(a), fresh.residual(a)) << "arc " << a;
+  }
+}
+
+TEST(ParallelFlow, ParallelDischargeBitwiseAcrossThreadCounts) {
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    const Graph g = random_graph(48, 160, seed);
+    const int s = 0;
+    const int t = g.num_nodes() - 1;
+    FlowOptions serial_opts;
+    serial_opts.algo = FlowAlgo::ParallelDischarge;
+    serial_opts.threads = 1;
+    FlowNetwork ref = FlowNetwork::from_graph(g);
+    MaxFlowStats ref_stats;
+    const double ref_value = flow::max_flow(ref, s, t, serial_opts, &ref_stats);
+    for (const int threads : thread_ladder()) {
+      FlowOptions fo = serial_opts;
+      fo.threads = threads;
+      FlowNetwork net = FlowNetwork::from_graph(g);
+      MaxFlowStats stats;
+      const double value = flow::max_flow(net, s, t, fo, &stats);
+      const std::string what =
+          "seed=" + std::to_string(seed) + " threads=" + std::to_string(threads);
+      EXPECT_EQ(value, ref_value) << what;
+      expect_stats_eq(stats, ref_stats, what);
+      for (int a = 0; a < net.num_arcs(); ++a) {
+        ASSERT_EQ(net.residual(a), ref.residual(a)) << what << " arc " << a;
+      }
+    }
+  }
+}
+
+TEST(ParallelFlow, ParallelDischargeAgreesWithReferenceEngines) {
+  for (const std::uint64_t seed : {2u, 23u, 57u}) {
+    const Graph g = random_graph(32, 100, seed);
+    const int s = 0;
+    const int t = g.num_nodes() - 1;
+    FlowNetwork pd_net = FlowNetwork::from_graph(g);
+    FlowNetwork hl_net = FlowNetwork::from_graph(g);
+    FlowNetwork di_net = FlowNetwork::from_graph(g);
+    FlowOptions pd;
+    pd.algo = FlowAlgo::ParallelDischarge;
+    const double pd_value = flow::max_flow(pd_net, s, t, pd, nullptr);
+    const double hl_value =
+        flow::max_flow(hl_net, s, t, FlowAlgo::HighestLabel);
+    const double di_value = flow::max_flow(di_net, s, t, FlowAlgo::Dinic);
+    EXPECT_NEAR(pd_value, hl_value, 1e-9) << "seed " << seed;
+    EXPECT_NEAR(pd_value, di_value, 1e-9) << "seed " << seed;
+    // And its residual state is a real max flow: the extracted cut
+    // certifies it (st_min_cut throws on a duality violation).
+    FlowOptions auto_pd;
+    auto_pd.algo = FlowAlgo::ParallelDischarge;
+    const StCut cut = flow::st_min_cut(g, s, t, auto_pd);
+    EXPECT_NEAR(cut.value, hl_value, 1e-9);
+  }
+}
+
+TEST(ParallelFlow, CutoffPredicateDependsOnInstanceOnly) {
+  const Graph small = random_graph(10, 10, /*seed=*/1);
+  const Graph big = random_graph(70, 4'100, /*seed=*/1);
+  const FlowNetwork small_net = FlowNetwork::from_graph(small);
+  const FlowNetwork big_net = FlowNetwork::from_graph(big);
+  EXPECT_FALSE(flow::parallel_discharge_cutoff(small_net));
+  EXPECT_TRUE(flow::parallel_discharge_cutoff(big_net));
+  // Auto resolves from the instance alone; explicit algos pass through.
+  EXPECT_EQ(flow::resolve_flow_algo(small_net, FlowAlgo::Auto),
+            FlowAlgo::HighestLabel);
+  EXPECT_EQ(flow::resolve_flow_algo(big_net, FlowAlgo::Auto),
+            FlowAlgo::ParallelDischarge);
+  EXPECT_EQ(flow::resolve_flow_algo(small_net, FlowAlgo::Dinic),
+            FlowAlgo::Dinic);
+  EXPECT_EQ(flow::resolve_flow_algo(big_net, FlowAlgo::HighestLabel),
+            FlowAlgo::HighestLabel);
+}
+
+TEST(ParallelFlow, CutUpperBoundThreadsNeverChangeTheBound) {
+  const Network net = family_representative(Family::Hypercube, 16, /*seed=*/7);
+  const TrafficMatrix tm = all_to_all(net);
+  CutBoundOptions base;
+  base.solver_threads = 1;
+  const CutBoundResult serial = cut_upper_bound(net, tm, base);
+  for (const int threads : thread_ladder()) {
+    CutBoundOptions opts;
+    opts.solver_threads = threads;
+    const CutBoundResult r = cut_upper_bound(net, tm, opts);
+    const std::string what = "threads=" + std::to_string(threads);
+    EXPECT_EQ(r.bound, serial.bound) << what;
+    EXPECT_EQ(r.method, serial.method) << what;
+    EXPECT_EQ(r.kind, serial.kind) << what;
+    expect_stats_eq(r.flow_stats, serial.flow_stats, what);
+  }
+}
+
+}  // namespace
+}  // namespace tb

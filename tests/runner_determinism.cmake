@@ -1,7 +1,8 @@
-# Runs DRIVER (a runner-ported bench binary) at a tiny size in three modes —
-# serial (TOPOBENCH_THREADS=1), the default pool, and an explicit 4-worker
-# pool (so the concurrent paths are exercised even on single-core machines) —
-# and fails unless the emitted CSVs are byte-identical. This is the
+# Runs DRIVER (a runner-ported bench binary) at a tiny size in four modes —
+# serial (TOPOBENCH_THREADS=1), the default pool, an explicit 4-worker
+# pool, and 4-worker intra-solve pools (TOPOBENCH_SOLVER_THREADS=4) — so
+# the concurrent paths are exercised even on single-core machines — and
+# fails unless the emitted CSVs are byte-identical. This is the
 # cross-process half of the runner's determinism contract; exp_test covers
 # the in-process half.
 #
@@ -42,8 +43,12 @@ endfunction()
 run_mode(${driver_name}_det_serial.csv TOPOBENCH_THREADS=1)
 run_mode(${driver_name}_det_default.csv)
 run_mode(${driver_name}_det_four.csv TOPOBENCH_THREADS=4)
+# Intra-solve threading (dedicated 4-worker solver pools under the cut
+# battery / parallel-discharge flow engine) must not move a byte either.
+run_mode(${driver_name}_det_solver4.csv TOPOBENCH_SOLVER_THREADS=4)
 
-foreach(other ${driver_name}_det_default.csv ${driver_name}_det_four.csv)
+foreach(other ${driver_name}_det_default.csv ${driver_name}_det_four.csv
+    ${driver_name}_det_solver4.csv)
   execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files
       ${WORK_DIR}/${driver_name}_det_serial.csv ${WORK_DIR}/${other}

@@ -128,6 +128,10 @@ Value record_json(const tb::api::Result& r) {
   o.set("pivots", Value::number_v(static_cast<double>(r.pivots)));
   o.set("phases", Value::number_v(static_cast<double>(r.phases)));
   o.set("dijkstras", Value::number_v(static_cast<double>(r.dijkstras)));
+  o.set("pushes", Value::number_v(static_cast<double>(r.pushes)));
+  o.set("relabels", Value::number_v(static_cast<double>(r.relabels)));
+  o.set("global_relabels",
+        Value::number_v(static_cast<double>(r.global_relabels)));
   o.set("warm", Value::number_v(r.warm));
   o.set("solver_threads", Value::number_v(r.solver_threads));
   return o;
