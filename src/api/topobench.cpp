@@ -189,9 +189,26 @@ Scenario build_scenario(const std::string& spec) {
     }
     return exp::degrade_scenario(*c);
   }
+  if (const std::optional<double> f =
+          parse_paren_param(spec, "groups", "f")) {
+    if (*f < 0.0 || *f > 1.0) {
+      throw std::invalid_argument(
+          "build_scenario: groups(f) needs f in [0, 1], got \"" + spec +
+          "\"");
+    }
+    return exp::correlated_group_scenarios({*f}).front();
+  }
+  if (const std::optional<double> x = parse_paren_param(spec, "surge", "x")) {
+    if (!(*x > 0.0)) {
+      throw std::invalid_argument(
+          "build_scenario: surge(x) needs x > 0, got \"" + spec + "\"");
+    }
+    return exp::surge_scenario(*x);
+  }
   throw std::invalid_argument(
       "build_scenario: unknown scenario spec \"" + spec +
-      "\" (known: fail(f=<frac>), degrade(c=<factor>))");
+      "\" (known: fail(f=<frac>), degrade(c=<factor>), groups(f=<frac>), "
+      "surge(x=<scale>))");
 }
 
 ServiceConfig ServiceConfig::from_env() {

@@ -104,6 +104,8 @@ Traffic build_tm(const std::string& spec);
 /// Failure-scenario factory addressed by spec string:
 ///   "fail(f=<frac>)"    fail round(frac * edges) random links
 ///   "degrade(c=<fac>)"  scale every capacity to fac of nominal
+///   "groups(f=<frac>)"  fail round(frac * groups) random shared-risk groups
+///   "surge(x=<scale>)"  scale every demand by x (traffic surge)
 /// The returned label equals the canonical spec string. Throws
 /// std::invalid_argument on anything else or out-of-range parameters.
 Scenario build_scenario(const std::string& spec);

@@ -94,6 +94,7 @@ DegradedResult degraded_throughput(const Network& net, const TrafficMatrix& tm,
   res.degraded = deg.throughput;
   res.stats = deg.stats;
   res.failed_links = engine.failed_edge_count();
+  res.failed_groups = engine.failed_group_count();
   res.drop = res.baseline > 0.0 ? 1.0 - res.degraded / res.baseline : 0.0;
   return res;
 }
@@ -111,6 +112,7 @@ std::vector<DegradedResult> degraded_throughput_batch(
     out[i].degraded = cells[i].result.throughput;
     out[i].drop = cells[i].drop;
     out[i].failed_links = cells[i].failed_links;
+    out[i].failed_groups = cells[i].failed_groups;
     out[i].stats = cells[i].result.stats;
   }
   return out;

@@ -84,6 +84,7 @@ struct DegradedResult {
   /// gap can make it marginally negative on easier degraded instances.
   double drop = 0.0;
   int failed_links = 0;       ///< edges at zero capacity under the scenario
+  int failed_groups = 0;      ///< distinct risk groups failed by the scenario
   mcf::SolverStats stats;     ///< work counters of the degraded solve
 };
 

@@ -103,6 +103,10 @@ std::vector<Network> ladder(Family f, std::uint64_t seed) {
       for (const int q : {5, 13}) nets.push_back(make_slim_fly(q, 1));
       break;
   }
+  // Families without a bespoke shared-risk derivation still get structural
+  // groups (per-switch incident bundles), so correlated-failure sweeps are
+  // meaningful registry-wide.
+  for (Network& net : nets) ensure_risk_groups(net);
   return nets;
 }
 

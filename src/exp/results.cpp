@@ -17,10 +17,11 @@ namespace {
 constexpr const char* kCsvHeader =
     "cell,topology,servers,switches,tm,seed,solver,trials,throughput,"
     "random_mean,random_ci95,relative,relative_ci95,cut_bound,cut_gap,"
-    "cut_method,scenario,failed_links,throughput_drop,pivots,phases,"
-    "dijkstras,pushes,relabels,global_relabels,warm,solver_threads";
+    "cut_method,scenario,failed_links,throughput_drop,risk_group,tm_scale,"
+    "growth_step,pivots,phases,dijkstras,pushes,relabels,global_relabels,"
+    "warm,solver_threads";
 
-constexpr std::size_t kNumColumns = 27;
+constexpr std::size_t kNumColumns = 30;
 
 /// failed_links uses -1 as its NA sentinel (0 is a real count).
 std::string int_or_na(int v) { return v < 0 ? "na" : std::to_string(v); }
@@ -152,6 +153,8 @@ std::string csv_row(const CellResult& r) {
       << num(r.cut_bound) << ',' << num(r.cut_gap) << ','
       << csv_quote(r.cut_method) << ',' << csv_quote(r.scenario) << ','
       << int_or_na(r.failed_links) << ',' << num(r.throughput_drop) << ','
+      << int_or_na(r.risk_group) << ',' << num(r.tm_scale) << ','
+      << int_or_na(r.growth_step) << ','
       << r.pivots << ',' << r.phases << ',' << r.dijkstras << ',' << r.pushes
       << ',' << r.relabels << ',' << r.global_relabels << ',' << r.warm << ','
       << r.solver_threads;
@@ -192,14 +195,23 @@ CellResult cell_from_csv_row(const std::string& row) {
           ? -1
           : static_cast<int>(std::strtol(f[17].c_str(), nullptr, 10));
   r.throughput_drop = parse_num(f[18]);
-  r.pivots = std::strtol(f[19].c_str(), nullptr, 10);
-  r.phases = std::strtol(f[20].c_str(), nullptr, 10);
-  r.dijkstras = std::strtol(f[21].c_str(), nullptr, 10);
-  r.pushes = std::strtol(f[22].c_str(), nullptr, 10);
-  r.relabels = std::strtol(f[23].c_str(), nullptr, 10);
-  r.global_relabels = std::strtol(f[24].c_str(), nullptr, 10);
-  r.warm = static_cast<int>(std::strtol(f[25].c_str(), nullptr, 10));
-  r.solver_threads = static_cast<int>(std::strtol(f[26].c_str(), nullptr, 10));
+  r.risk_group =
+      f[19] == "na"
+          ? -1
+          : static_cast<int>(std::strtol(f[19].c_str(), nullptr, 10));
+  r.tm_scale = parse_num(f[20]);
+  r.growth_step =
+      f[21] == "na"
+          ? -1
+          : static_cast<int>(std::strtol(f[21].c_str(), nullptr, 10));
+  r.pivots = std::strtol(f[22].c_str(), nullptr, 10);
+  r.phases = std::strtol(f[23].c_str(), nullptr, 10);
+  r.dijkstras = std::strtol(f[24].c_str(), nullptr, 10);
+  r.pushes = std::strtol(f[25].c_str(), nullptr, 10);
+  r.relabels = std::strtol(f[26].c_str(), nullptr, 10);
+  r.global_relabels = std::strtol(f[27].c_str(), nullptr, 10);
+  r.warm = static_cast<int>(std::strtol(f[28].c_str(), nullptr, 10));
+  r.solver_threads = static_cast<int>(std::strtol(f[29].c_str(), nullptr, 10));
   return r;
 }
 
@@ -240,6 +252,13 @@ std::string ResultSet::to_json() const {
         << (r.failed_links < 0 ? std::string("null")
                                : std::to_string(r.failed_links))
         << ", \"throughput_drop\": " << json_num(r.throughput_drop)
+        << ", \"risk_group\": "
+        << (r.risk_group < 0 ? std::string("null")
+                             : std::to_string(r.risk_group))
+        << ", \"tm_scale\": " << json_num(r.tm_scale)
+        << ", \"growth_step\": "
+        << (r.growth_step < 0 ? std::string("null")
+                              : std::to_string(r.growth_step))
         << ", \"pivots\": " << r.pivots << ", \"phases\": " << r.phases
         << ", \"dijkstras\": " << r.dijkstras << ", \"pushes\": " << r.pushes
         << ", \"relabels\": " << r.relabels
@@ -311,7 +330,8 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
                  "solver", "trials", "throughput", "random_mean",
                  "random_ci95", "relative", "relative_ci95", "cut_bound",
                  "cut_gap", "cut_method", "scenario", "failed_links",
-                 "throughput_drop", "pivots", "phases", "dijkstras", "pushes",
+                 "throughput_drop", "risk_group", "tm_scale", "growth_step",
+                 "pivots", "phases", "dijkstras", "pushes",
                  "relabels", "global_relabels", "warm", "solver_threads"});
     for (const CellResult& r : rows_) {
       table.add_row({std::to_string(r.cell), r.topology,
@@ -324,6 +344,8 @@ void ResultSet::emit(std::ostream& os, const std::string& caption) const {
                      r.cut_method.empty() ? "na" : r.cut_method,
                      r.scenario.empty() ? "na" : r.scenario,
                      int_or_na(r.failed_links), num_short(r.throughput_drop),
+                     int_or_na(r.risk_group), num_short(r.tm_scale),
+                     int_or_na(r.growth_step),
                      std::to_string(r.pivots), std::to_string(r.phases),
                      std::to_string(r.dijkstras), std::to_string(r.pushes),
                      std::to_string(r.relabels),

@@ -48,6 +48,14 @@ struct CellResult {
   std::string scenario;      ///< empty when the sweep has no failure axis
   int failed_links = -1;
   double throughput_drop = std::numeric_limits<double>::quiet_NaN();
+  // Structured-scenario columns (PR 10): distinct shared-risk groups the
+  // scenario failed, the scenario's TM surge multiplier, and the growth
+  // stage of a growth-mode cell. Fleet cells record actual values (0
+  // groups and tm_scale 1 are legitimate data); every other cell keeps the
+  // NA sentinels (-1 / NaN / -1).
+  int risk_group = -1;
+  double tm_scale = std::numeric_limits<double>::quiet_NaN();
+  int growth_step = -1;
   // Solver work counters of the cell's topology solve (see
   // mcf::SolverStats): simplex pivots vs GK phases/dijkstras are distinct
   // kinds of work and get distinct columns; `warm` is 1 when the solve was

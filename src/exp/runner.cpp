@@ -1,5 +1,6 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -66,6 +67,14 @@ std::string config_fingerprint(const Sweep& s) {
       key += p.label;
     }
   }
+  if (s.growth_steps > 0) {
+    // Growth cells derive their installed-switch counts from the axis
+    // shape and start fraction, so both are configuration identity (the
+    // per-step labels alone would collide across different growth_start).
+    std::snprintf(buf, sizeof(buf), "|grow|%d|%.17g", s.growth_steps,
+                  s.growth_start);
+    key += buf;
+  }
   return key;
 }
 
@@ -78,10 +87,28 @@ std::string cache_key(const std::string& topo, const std::string& tm,
          std::to_string(sweep.trials);
 }
 
-const std::string& scenario_label_of(const Sweep& sweep, const Cell& c) {
-  static const std::string kEmpty;
-  return sweep.scenarios.empty() ? kEmpty
-                                 : sweep.scenarios[c.scenario].label;
+std::string scenario_label_of(const Sweep& sweep, const Cell& c) {
+  if (!sweep.scenarios.empty()) return sweep.scenarios[c.scenario].label;
+  if (sweep.growth_steps > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "grow(step=%d/%d)",
+                  static_cast<int>(c.scenario), sweep.growth_steps);
+    return buf;
+  }
+  return {};
+}
+
+/// Installed-switch count at growth stage `step`: a linear ladder from
+/// round(n * growth_start) (clamped to >= 2) up to the full instance,
+/// which the final stage always is.
+int growth_installed(const Sweep& sweep, int num_nodes, int step) {
+  const int steps = sweep.growth_steps;
+  if (step >= steps - 1) return num_nodes;
+  const double frac =
+      sweep.growth_start +
+      (1.0 - sweep.growth_start) * step / static_cast<double>(steps - 1);
+  const int installed = static_cast<int>(std::llround(frac * num_nodes));
+  return std::max(2, std::min(num_nodes, installed));
 }
 
 void validate_modes(const Sweep& sweep) {
@@ -112,6 +139,33 @@ void validate_modes(const Sweep& sweep) {
   if (sweep.warm_start && sweep.cut_bounds) {
     throw std::invalid_argument(
         "Runner::run: warm-start chains do not support cut bounds");
+  }
+  if (sweep.growth_steps < 0) {
+    throw std::invalid_argument("Runner::run: negative growth_steps");
+  }
+  if (sweep.growth_steps > 0) {
+    if (!sweep.scenarios.empty()) {
+      throw std::invalid_argument(
+          "Runner::run: growth mode and a scenario axis are mutually "
+          "exclusive (both occupy the third grid axis)");
+    }
+    if (sweep.trials > 0) {
+      throw std::invalid_argument(
+          "Runner::run: growth mode requires absolute mode (trials == 0)");
+    }
+    if (sweep.cut_bounds) {
+      throw std::invalid_argument(
+          "Runner::run: growth mode does not support cut bounds");
+    }
+    if (sweep.warm_start) {
+      throw std::invalid_argument(
+          "Runner::run: growth mode does not support warm-start chains "
+          "(each growth cell already warm-starts internally)");
+    }
+    if (!(sweep.growth_start > 0.0) || sweep.growth_start > 1.0) {
+      throw std::invalid_argument(
+          "Runner::run: growth_start must be in (0, 1]");
+    }
   }
 }
 
@@ -237,7 +291,10 @@ void Runner::eval_failure_group(const Sweep& sweep,
                                 const Network& net, const TmSpec& tm_spec,
                                 const std::vector<std::size_t>& cell_indices,
                                 std::vector<CellResult>& out) const {
-  const std::size_t num_scenarios = sweep.scenarios.size();
+  const bool growth = sweep.scenarios.empty();
+  const std::size_t num_scenarios =
+      growth ? static_cast<std::size_t>(sweep.growth_steps)
+             : sweep.scenarios.size();
   // The group's TM comes from its scenario-0 cell stream so every scenario
   // of the group degrades the same instance (see the header contract); the
   // flat expansion is scenario-minor, so that cell is the group's floor.
@@ -247,12 +304,23 @@ void Runner::eval_failure_group(const Sweep& sweep,
       net, mix_seed(mix_seed(sweep.base_seed, first_index), 0));
   // Per-cell failure sampling: each scenario keeps drawing from its own
   // cell's stream after the cut sampler's (trials + 2), so the batch shape
-  // never leaks into the sampled failure sets.
+  // never leaks into the sampled failure sets. Growth stages use no
+  // sampling — their spec is the uninstalled node tail — but carry the
+  // same seed for uniformity.
   std::vector<mcf::ScenarioSpec> specs;
   specs.reserve(cell_indices.size());
   for (const std::size_t index : cell_indices) {
-    mcf::ScenarioSpec spec =
-        sweep.scenarios[index % num_scenarios].spec;
+    mcf::ScenarioSpec spec;
+    if (growth) {
+      const int installed = growth_installed(
+          sweep, net.graph.num_nodes(), static_cast<int>(index % num_scenarios));
+      for (int v = installed; v < net.graph.num_nodes(); ++v) {
+        spec.failed_nodes.push_back(v);
+      }
+      spec.drop_failed_node_demands = true;
+    } else {
+      spec = sweep.scenarios[index % num_scenarios].spec;
+    }
     spec.seed = mix_seed(mix_seed(sweep.base_seed, index),
                          static_cast<std::uint64_t>(sweep.trials) + 2);
     specs.push_back(std::move(spec));
@@ -264,14 +332,24 @@ void Runner::eval_failure_group(const Sweep& sweep,
       degraded_throughput_batch(net, tm, specs, solve, parallel_);
   for (std::size_t k = 0; k < cell_indices.size(); ++k) {
     const std::size_t index = cell_indices[k];
+    const std::size_t step = index % num_scenarios;
     CellResult& r = out[index];
     fill_cell_identity(r, index, topo_label, net, tm_spec.label,
                        mix_seed(sweep.base_seed, index), solve);
     r.trials = 0;
-    r.scenario = sweep.scenarios[index % num_scenarios].label;
+    Cell c;
+    c.index = index;
+    c.scenario = step;
+    r.scenario = scenario_label_of(sweep, c);
     r.throughput = deg[k].degraded;
     r.failed_links = deg[k].failed_links;
     r.throughput_drop = deg[k].drop;
+    // Structured-scenario columns: fleet cells record their actual values
+    // (0 failed groups and tm_scale 1 are legitimate data, unlike the NA
+    // sentinels non-fleet cells keep).
+    r.risk_group = deg[k].failed_groups;
+    r.tm_scale = specs[k].tm_scale;
+    r.growth_step = growth ? static_cast<int>(step) : -1;
     record_stats(r, deg[k].stats);
   }
 }
@@ -401,13 +479,14 @@ ResultSet Runner::run_impl(const Sweep& sweep, const RunOptions& opts,
   }
 
   ThreadPool& pool = ThreadPool::shared();
-  if (!sweep.scenarios.empty()) {
-    // Failures mode: the missing cells of each (topology, TM) pair form
-    // one ScenarioFleet batch (a shared baseline + per-scenario degraded
-    // solves). Groups run concurrently — the fleet's own parallelism
-    // inlines on pool workers — and per-scenario results are independent
-    // of the batch shape, so output stays byte-identical for any thread
-    // count and any cache state.
+  if (!sweep.scenarios.empty() || sweep.growth_steps > 0) {
+    // Failures/growth mode: the missing cells of each (topology, TM) pair
+    // form one ScenarioFleet batch (a shared baseline + per-scenario
+    // degraded solves; growth stages are node-tail scenarios). Groups run
+    // concurrently — the fleet's own parallelism inlines on pool workers —
+    // and per-scenario results are independent of the batch shape, so
+    // output stays byte-identical for any thread count and any cache
+    // state.
     struct FleetGroup {
       std::size_t topo = 0;
       std::size_t tm = 0;

@@ -28,6 +28,18 @@
 // shape, so the determinism contract is unchanged. Requires absolute mode
 // (trials == 0, no cut bounds, no warm chains).
 //
+// Growth mode (Sweep::growth_steps > 0): the third grid axis becomes an
+// incremental-expansion ladder instead of a scenario list — stage g of a
+// (topology, TM) group fails the uninstalled node tail (see
+// Sweep::growth_steps for the installed-count formula) with dropped
+// demands, evaluated through the same fleet machinery: one full-network
+// baseline, each stage warm-solved on a fork. Stage labels
+// ("grow(step=<g>/<steps>)") fill the scenario column and the growth_step
+// column records g; early stages may be disconnected, which deterministically
+// reports throughput 0. Same mode constraints and caching/sharding
+// behavior as failures mode; the axis shape and start fraction are part of
+// the configuration fingerprint.
+//
 // Solver threading: Runner::run seeds SolveOptions::solver_threads from
 // TOPOBENCH_SOLVER_THREADS when the sweep leaves it 0. By the solver
 // determinism contracts the knob never changes values — it is recorded in

@@ -11,8 +11,11 @@
 namespace tb::exp {
 
 std::vector<Cell> expand(const Sweep& s) {
-  const std::size_t num_scenarios =
-      std::max<std::size_t>(1, s.scenarios.size());
+  // The third axis is scenarios (failures mode) or growth stages (growth
+  // mode); validate_modes forbids combining them.
+  const std::size_t num_scenarios = std::max<std::size_t>(
+      1, s.scenarios.empty() ? static_cast<std::size_t>(s.growth_steps)
+                             : s.scenarios.size());
   std::vector<Cell> cells;
   cells.reserve(s.topologies.size() * s.tms.size() * num_scenarios);
   for (std::size_t t = 0; t < s.topologies.size(); ++t) {
@@ -108,6 +111,40 @@ ScenarioPoint degrade_scenario(double factor) {
   std::snprintf(buf, sizeof(buf), "degrade(c=%g)", factor);
   p.label = buf;
   p.spec.capacity_factor = factor;
+  return p;
+}
+
+std::vector<ScenarioPoint> correlated_group_scenarios(
+    const std::vector<double>& fractions) {
+  std::vector<ScenarioPoint> points;
+  points.reserve(fractions.size());
+  for (const double f : fractions) {
+    ScenarioPoint p;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "groups(f=%g)", f);
+    p.label = buf;
+    p.spec.random_group_fraction = f;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+ScenarioPoint surge_scenario(double scale) {
+  ScenarioPoint p;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "surge(x=%g)", scale);
+  p.label = buf;
+  p.spec.tm_scale = scale;
+  return p;
+}
+
+ScenarioPoint hotspot_scenario(double fraction, double factor) {
+  ScenarioPoint p;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "hotspot(f=%g,x=%g)", fraction, factor);
+  p.label = buf;
+  p.spec.hotspot_fraction = fraction;
+  p.spec.hotspot_factor = factor;
   return p;
 }
 

@@ -70,6 +70,20 @@ struct Sweep {
   /// absolute mode (trials == 0) without cut bounds; the runner throws
   /// otherwise.
   std::vector<ScenarioPoint> scenarios;
+  /// Growth mode: when growth_steps > 0, the grid gains a growth axis
+  /// instead of a scenario one — each (topology, TM) pair is evaluated at
+  /// growth_steps incremental-expansion stages of the instance (the
+  /// Jellyfish expansion story): stage g keeps the first
+  /// round(n * (growth_start + (1 - growth_start) * g / (steps - 1)))
+  /// switches installed (all of them at the final stage) by failing the
+  /// uninstalled tail as node failures with dropped demands, warm-solved
+  /// from the full-network baseline like any other scenario fleet. Labels
+  /// are "grow(step=<g>/<steps>)"; the growth_step column records g.
+  /// Mutually exclusive with `scenarios`; requires absolute mode without
+  /// cut bounds or warm_start (the runner throws otherwise).
+  int growth_steps = 0;
+  /// First installed fraction of the growth ladder, in (0, 1].
+  double growth_start = 0.5;
   /// Warm-start mode: evaluate each topology's TM cells as one ordered
   /// chain on a shared ThroughputEngine, seeding every solve after the
   /// first from the previous solution (GK lengths / LP basis). Chains stay
@@ -137,6 +151,21 @@ std::vector<ScenarioPoint> random_failure_scenarios(
 /// Uniform capacity degradation to `factor` of nominal on every link,
 /// labeled "degrade(c=<factor>)". No links fail (failed_links == 0).
 ScenarioPoint degrade_scenario(double factor);
+
+/// Correlated shared-risk failure scenarios, one per fraction: each fails
+/// round(f * num_groups) risk groups sampled on the group stream, labeled
+/// "groups(f=<f>)". Requires networks exporting risk groups (every
+/// registry instance does; see ensure_risk_groups).
+std::vector<ScenarioPoint> correlated_group_scenarios(
+    const std::vector<double>& fractions);
+
+/// Uniform traffic surge: every demand scaled by `scale`, labeled
+/// "surge(x=<scale>)". No links fail; capacities are untouched.
+ScenarioPoint surge_scenario(double scale);
+
+/// Diurnal hotspot surge: round(fraction * num_demands) seeded demands
+/// additionally scaled by `factor`, labeled "hotspot(f=<f>,x=<factor>)".
+ScenarioPoint hotspot_scenario(double fraction, double factor);
 
 // --- environment knobs (shared by every driver) -------------------------
 // Solver accuracy, trial counts and sweep sizes can be tightened from the

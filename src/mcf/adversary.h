@@ -1,0 +1,49 @@
+// Adversarial worst-case TM search (paper §II-C): the longest-matching
+// heuristic finds a *near*-worst matching; this module promotes the
+// examples-only refinement loop into the engine as a maximizing scenario.
+// A deterministic seeded local search over host matchings — starting from
+// the longest-matching candidate and seeded random restarts, proposing
+// pair swaps and keeping strict throughput decreases — reports the worst
+// matching TM found and its throughput. Every candidate is solved on one
+// ThroughputEngine session (warm-start chaining), so the search costs far
+// less than independent compute_throughput calls.
+//
+// Determinism: the proposal stream is Rng(mix_seed(seed, restart)); ties
+// never move (strict-decrease acceptance); aggregation orders demands by
+// (src, dst). Same network + options => bitwise identical result.
+#pragma once
+
+#include <cstdint>
+
+#include "mcf/throughput.h"
+#include "tm/traffic_matrix.h"
+#include "topo/network.h"
+
+namespace tb::mcf {
+
+struct WorstCaseOptions {
+  /// Swap proposals per restart (hill-climb length).
+  int iterations = 64;
+  /// Seeded random-restart count after the longest-matching candidate.
+  int restarts = 2;
+  std::uint64_t seed = 1;
+  /// Solver configuration for every candidate evaluation.
+  SolveOptions solve;
+};
+
+struct WorstCaseResult {
+  TrafficMatrix tm;          ///< worst matching TM found (switch-aggregated)
+  double throughput = 0.0;   ///< its throughput under opts.solve
+  double initial = 0.0;      ///< throughput of the longest-matching candidate
+  long solves = 0;           ///< candidate evaluations performed
+  long improvements = 0;     ///< accepted strict decreases
+};
+
+/// Search the space of host matchings (each server slot sends 1 unit to a
+/// permuted slot; intra-switch pairs drop out on aggregation) for a
+/// minimum-throughput TM. Throws std::invalid_argument on negative
+/// iterations/restarts or a network without servers.
+WorstCaseResult worst_case_matching(const Network& net,
+                                    const WorstCaseOptions& opts = {});
+
+}  // namespace tb::mcf

@@ -1,5 +1,6 @@
 #include "mcf/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +39,56 @@ std::pair<bool, ThreadPool*> resolve_solver_pool(const SolveOptions& opts) {
 
 }  // namespace
 
+std::vector<int> sampled_risk_groups(const ScenarioSpec& spec,
+                                     int num_groups) {
+  if (spec.random_group_fraction < 0.0 || spec.random_group_fraction > 1.0) {
+    throw std::invalid_argument(
+        "apply_scenario: random_group_fraction must be in [0, 1]");
+  }
+  if ((!spec.failed_groups.empty() || spec.random_group_fraction > 0.0) &&
+      num_groups == 0) {
+    throw std::invalid_argument(
+        "apply_scenario: scenario fails risk groups but the network exports "
+        "none (see ensure_risk_groups)");
+  }
+  std::vector<int> groups;
+  for (const int gi : spec.failed_groups) {
+    if (gi < 0 || gi >= num_groups) {
+      throw std::out_of_range("apply_scenario: bad risk-group index");
+    }
+    groups.push_back(gi);
+  }
+  if (spec.random_group_fraction > 0.0 && num_groups > 0) {
+    const int k = static_cast<int>(std::min<long long>(
+        num_groups,
+        std::llround(spec.random_group_fraction * num_groups)));
+    Rng rng(mix_seed(spec.seed, kGroupSampleStream));
+    for (const int gi : rng.sample_without_replacement(num_groups, k)) {
+      groups.push_back(gi);
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+TrafficMatrix scenario_scaled_tm(const TrafficMatrix& tm, double tm_scale,
+                                 double hotspot_fraction,
+                                 double hotspot_factor, std::uint64_t seed) {
+  TrafficMatrix scaled = tm;
+  for (Demand& d : scaled.demands) d.amount *= tm_scale;
+  const auto n = static_cast<int>(scaled.demands.size());
+  if (hotspot_fraction > 0.0 && n > 0) {
+    const int k = static_cast<int>(
+        std::min<long long>(n, std::llround(hotspot_fraction * n)));
+    Rng rng(mix_seed(seed, kHotspotStream));
+    for (const int i : rng.sample_without_replacement(n, k)) {
+      scaled.demands[static_cast<std::size_t>(i)].amount *= hotspot_factor;
+    }
+  }
+  return scaled;
+}
+
 ThroughputEngine::ThroughputEngine(const Network& net)
     : net_(&net), gk_(net.graph) {}
 
@@ -69,6 +120,19 @@ void ThroughputEngine::apply_scenario(const ScenarioSpec& spec) {
     throw std::invalid_argument(
         "apply_scenario: random_edge_fraction must be in [0, 1]");
   }
+  if (!(spec.tm_scale > 0.0)) {
+    throw std::invalid_argument("apply_scenario: tm_scale must be > 0");
+  }
+  if (spec.hotspot_fraction < 0.0 || spec.hotspot_fraction > 1.0) {
+    throw std::invalid_argument(
+        "apply_scenario: hotspot_fraction must be in [0, 1]");
+  }
+  if (!(spec.hotspot_factor > 0.0)) {
+    // Factor 0 would zero demands out, violating the TM validity contract
+    // (validate_tm rejects non-positive amounts); removal is failed_nodes'
+    // job, not a surge's.
+    throw std::invalid_argument("apply_scenario: hotspot_factor must be > 0");
+  }
   std::vector<char> fail(static_cast<std::size_t>(num_edges), 0);
   for (const int e : spec.failed_edges) {
     if (e < 0 || e >= num_edges) {
@@ -76,6 +140,16 @@ void ThroughputEngine::apply_scenario(const ScenarioSpec& spec) {
     }
     fail[static_cast<std::size_t>(e)] = 1;
   }
+  // Correlated shared-risk failures: explicit group indices plus the seeded
+  // group sample, every member edge failed together.
+  const std::vector<int> groups = sampled_risk_groups(
+      spec, static_cast<int>(net_->risk_groups.size()));
+  for (const int gi : groups) {
+    for (const int e : net_->risk_groups[static_cast<std::size_t>(gi)].edges) {
+      fail[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  failed_group_count_ = static_cast<int>(groups.size());
   node_failed_.assign(static_cast<std::size_t>(n), 0);
   for (const int v : spec.failed_nodes) {
     if (v < 0 || v >= n) {
@@ -114,6 +188,10 @@ void ThroughputEngine::apply_scenario(const ScenarioSpec& spec) {
     }
   }
   drop_node_demands_ = spec.drop_failed_node_demands;
+  tm_scale_ = spec.tm_scale;
+  hotspot_fraction_ = spec.hotspot_fraction;
+  hotspot_factor_ = spec.hotspot_factor;
+  scenario_seed_ = spec.seed;
   scenario_active_ = true;
 }
 
@@ -125,6 +203,11 @@ void ThroughputEngine::clear_scenario() {
   any_node_failed_ = false;
   drop_node_demands_ = true;
   failed_edge_count_ = 0;
+  failed_group_count_ = 0;
+  tm_scale_ = 1.0;
+  hotspot_fraction_ = 0.0;
+  hotspot_factor_ = 1.0;
+  scenario_seed_ = 0;
 }
 
 bool ThroughputEngine::demands_connected(const TrafficMatrix& tm) {
@@ -174,15 +257,26 @@ ThroughputResult ThroughputEngine::run(const TrafficMatrix& tm,
                                        const SolveOptions& opts, bool warm) {
   validate_tm(tm, *net_, /*check_hose=*/false);
 
+  // Surge scaling first: the scenario's TM perturbation is applied to the
+  // input matrix per solve — capacities (and therefore the O(affected)
+  // revert list) are never involved. Uniform scaling keeps the commodity
+  // pairs identical, so GK length seeding below still applies.
+  const TrafficMatrix* effective = &tm;
+  TrafficMatrix scaled;
+  if (scenario_active_ && (tm_scale_ != 1.0 || hotspot_fraction_ > 0.0)) {
+    scaled = scenario_scaled_tm(tm, tm_scale_, hotspot_fraction_,
+                                hotspot_factor_, scenario_seed_);
+    effective = &scaled;
+  }
+
   // Under a scenario with failed nodes, the unservable demands are either
   // dropped (throughput over the surviving commodities) or kept (forcing
   // throughput to 0 via the disconnection check below).
-  const TrafficMatrix* effective = &tm;
   TrafficMatrix filtered;
   if (scenario_active_ && any_node_failed_ && drop_node_demands_) {
-    filtered.name = tm.name;
-    filtered.demands.reserve(tm.demands.size());
-    for (const Demand& d : tm.demands) {
+    filtered.name = effective->name;
+    filtered.demands.reserve(effective->demands.size());
+    for (const Demand& d : effective->demands) {
       if (!node_failed_[static_cast<std::size_t>(d.src)] &&
           !node_failed_[static_cast<std::size_t>(d.dst)]) {
         filtered.demands.push_back(d);
@@ -304,6 +398,7 @@ std::vector<FleetCell> ScenarioFleet::evaluate(
     cell.baseline = baseline.throughput;
     cell.result = worker->warm_solve(tm, opts);
     cell.failed_links = worker->failed_edge_count();
+    cell.failed_groups = worker->failed_group_count();
     cell.drop = cell.baseline > 0.0
                     ? 1.0 - cell.result.throughput / cell.baseline
                     : 0.0;

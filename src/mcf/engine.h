@@ -41,24 +41,67 @@
 
 namespace tb::mcf {
 
+// Seed sub-streams of ScenarioSpec::seed. Each seeded sampler inside
+// apply_scenario draws from its own Rng(mix_seed(seed, stream)) so adding a
+// new perturbation kind never changes the draw sequence of an existing one
+// (random_edge_fraction keeps consuming Rng(seed) directly, preserving
+// pre-group results bit-for-bit). Exported so tests can compute the
+// expected sample sets independently.
+inline constexpr std::uint64_t kGroupSampleStream = 0x67726f7570ULL;  // "group"
+inline constexpr std::uint64_t kHotspotStream = 0x686f7453ULL;        // "hotS"
+
 /// A degraded-network scenario, applied to an engine as an incremental
 /// perturbation. Explicit failure sets, node failures (a failed node loses
-/// every incident link), uniform capacity degradation of the surviving
-/// links, and seeded random link-failure sampling compose in one spec.
+/// every incident link), correlated shared-risk group failures, uniform
+/// capacity degradation of the surviving links, seeded random link/group
+/// failure sampling, and traffic-surge scaling compose in one spec.
 struct ScenarioSpec {
   std::vector<int> failed_edges;  ///< edge ids to remove outright
   std::vector<int> failed_nodes;  ///< nodes whose incident edges all fail
+  /// Indices into Network::risk_groups whose edges all fail (correlated
+  /// shared-risk failure). Requires the network to export risk groups.
+  std::vector<int> failed_groups;
   /// Capacity multiplier in (0, 1] applied to every surviving edge.
   double capacity_factor = 1.0;
   /// Additionally fail round(fraction * num_edges) distinct edges sampled
   /// uniformly with `seed` (deterministic; may overlap the explicit sets).
   double random_edge_fraction = 0.0;
+  /// Additionally fail round(fraction * num_groups) distinct risk groups
+  /// sampled uniformly with Rng(mix_seed(seed, kGroupSampleStream)) — a
+  /// separate stream, so enabling groups never perturbs the edge sampler.
+  double random_group_fraction = 0.0;
   std::uint64_t seed = 0;
+  /// Traffic surge: every demand is scaled by tm_scale (> 0) before the
+  /// solve. Applied to the input TM inside the engine — capacities are
+  /// untouched, so the revert contract is unaffected. For the exact LP,
+  /// throughput scales exactly by 1/tm_scale.
+  double tm_scale = 1.0;
+  /// Diurnal hotspot: round(hotspot_fraction * num_demands) demands sampled
+  /// with Rng(mix_seed(seed, kHotspotStream)) are additionally scaled by
+  /// hotspot_factor (> 0; composes with tm_scale).
+  double hotspot_fraction = 0.0;
+  double hotspot_factor = 1.0;
   /// Drop demands whose endpoint is a failed node (they cannot possibly be
   /// served; throughput is then over the surviving commodities). With this
   /// false, such demands stay and force throughput to 0.
   bool drop_failed_node_demands = true;
 };
+
+/// The risk-group indices `spec` fails on a network with `num_groups`
+/// groups: the explicit failed_groups plus the seeded correlated sample
+/// (sorted, deduplicated). This is exactly the set apply_scenario resolves;
+/// exported so callers and tests can predict it without an engine. Throws
+/// std::out_of_range / std::invalid_argument like apply_scenario.
+std::vector<int> sampled_risk_groups(const ScenarioSpec& spec, int num_groups);
+
+/// The surge-scaled copy of `tm` a scenario solve routes: every demand
+/// scaled by tm_scale, then round(hotspot_fraction * num_demands) demands
+/// sampled with Rng(mix_seed(seed, kHotspotStream)) further scaled by
+/// hotspot_factor. Exported so tests can verify the engine's scaling
+/// against an independent construction.
+TrafficMatrix scenario_scaled_tm(const TrafficMatrix& tm, double tm_scale,
+                                 double hotspot_fraction,
+                                 double hotspot_factor, std::uint64_t seed);
 
 /// Reusable throughput solver session. Construct once per topology; `net`
 /// must outlive the engine. Not thread-safe — one engine per thread of
@@ -103,6 +146,14 @@ class ThroughputEngine {
   bool scenario_active() const noexcept { return scenario_active_; }
   /// Edges with zero capacity under the active scenario (0 when none).
   int failed_edge_count() const noexcept { return failed_edge_count_; }
+  /// Distinct risk groups failed by the active scenario (explicit plus
+  /// sampled; 0 when none active or the scenario fails no groups).
+  int failed_group_count() const noexcept { return failed_group_count_; }
+  /// The working per-arc capacities (scenario-degraded while active).
+  /// Exposed for revert verification; treat as read-only session state.
+  const std::vector<double>& arc_capacities() const noexcept {
+    return gk_.arc_capacities();
+  }
   const Network& network() const noexcept { return *net_; }
 
  private:
@@ -119,14 +170,20 @@ class ThroughputEngine {
   GkSolver gk_;  ///< owns the working per-arc capacities
 
   // Scenario bookkeeping: touched edges with their undegraded capacities
-  // (the O(affected) repair list) and the failed-node mask for demand
-  // filtering.
+  // (the O(affected) repair list), the failed-node mask for demand
+  // filtering, and the surge parameters (applied to the input TM per solve,
+  // never persisted into session state — clear_scenario just forgets them).
   std::vector<std::pair<int, double>> touched_;
   std::vector<char> node_failed_;
   bool scenario_active_ = false;
   bool any_node_failed_ = false;
   bool drop_node_demands_ = true;
   int failed_edge_count_ = 0;
+  int failed_group_count_ = 0;
+  double tm_scale_ = 1.0;
+  double hotspot_fraction_ = 0.0;
+  double hotspot_factor_ = 1.0;
+  std::uint64_t scenario_seed_ = 0;
 
   // ExactLP warm state: last optimal basis (empty until an LP solve).
   std::vector<int> lp_basis_;
@@ -150,6 +207,7 @@ struct FleetCell {
   double baseline = 0.0;    ///< intact cold throughput of the batch
   double drop = 0.0;        ///< 1 - degraded/baseline (0 when baseline is 0)
   int failed_links = 0;     ///< edges at zero capacity under the scenario
+  int failed_groups = 0;    ///< distinct risk groups failed by the scenario
 };
 
 /// Batch evaluator for degraded-network scenarios against one topology:

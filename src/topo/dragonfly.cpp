@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tb {
 
@@ -22,10 +24,12 @@ Network make_dragonfly(int p, int a, int h, int groups) {
   net.graph = Graph(routers);
 
   // Intra-group complete graph.
+  int edge_id = 0;
   for (int grp = 0; grp < g; ++grp) {
     for (int r1 = 0; r1 < a; ++r1) {
       for (int r2 = r1 + 1; r2 < a; ++r2) {
         net.graph.add_edge(grp * a + r1, grp * a + r2);
+        ++edge_id;
       }
     }
   }
@@ -35,6 +39,11 @@ Network make_dragonfly(int p, int a, int h, int groups) {
   // q / h of the group. Adding each undirected edge once (u < v side) and
   // only when the peer group exists (g may be < a*h + 1; then some ports
   // stay unused, as in practical under-populated dragonflies).
+  //
+  // A group's global links share its optical shuffle cabling, so the
+  // shared-risk groups here are "global(<grp>)" — every global link with an
+  // endpoint in grp. Each global edge therefore appears in two groups.
+  std::vector<std::vector<int>> global_edges(static_cast<std::size_t>(g));
   for (int u = 0; u < g; ++u) {
     for (int q = 0; q < a * h; ++q) {
       const int v = (u + q + 1) % max_groups;
@@ -44,10 +53,17 @@ Network make_dragonfly(int p, int a, int h, int groups) {
         const int ru = u * a + q / h;
         const int rv = v * a + qv / h;
         net.graph.add_edge(ru, rv);
+        global_edges[static_cast<std::size_t>(u)].push_back(edge_id);
+        global_edges[static_cast<std::size_t>(v)].push_back(edge_id);
+        ++edge_id;
       }
     }
   }
   net.graph.finalize();
+  for (int grp = 0; grp < g; ++grp) {
+    add_risk_group(net, "global(" + std::to_string(grp) + ")",
+                   std::move(global_edges[static_cast<std::size_t>(grp)]));
+  }
   attach_servers_uniform(net, p);
   return net;
 }

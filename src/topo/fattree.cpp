@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tb {
 
@@ -29,6 +31,14 @@ Network make_fat_tree(int k) {
   net.name = "FatTree(k=" + std::to_string(k) + ")";
   net.graph = Graph(info.num_edge + info.num_agg + info.num_core);
 
+  // Shared-risk structure collected while wiring: a pod group is every link
+  // touching the pod's switches (the pod PDU / enclosure failure unit), an
+  // edge-switch group is that switch's uplink bundle (its cable tray).
+  std::vector<std::vector<int>> pod_edges(static_cast<std::size_t>(k));
+  std::vector<std::vector<int>> uplink_edges(
+      static_cast<std::size_t>(info.num_edge));
+  int edge_id = 0;
+
   // Pod-internal bipartite edge<->agg mesh.
   for (int pod = 0; pod < k; ++pod) {
     for (int e = 0; e < half; ++e) {
@@ -36,6 +46,10 @@ Network make_fat_tree(int k) {
       for (int a = 0; a < half; ++a) {
         const int agg_sw = info.first_agg + pod * half + a;
         net.graph.add_edge(edge_sw, agg_sw);
+        pod_edges[static_cast<std::size_t>(pod)].push_back(edge_id);
+        uplink_edges[static_cast<std::size_t>(pod * half + e)].push_back(
+            edge_id);
+        ++edge_id;
       }
     }
   }
@@ -46,10 +60,20 @@ Network make_fat_tree(int k) {
       for (int pod = 0; pod < k; ++pod) {
         const int agg_sw = info.first_agg + pod * half + a;
         net.graph.add_edge(agg_sw, core_sw);
+        pod_edges[static_cast<std::size_t>(pod)].push_back(edge_id);
+        ++edge_id;
       }
     }
   }
   net.graph.finalize();
+  for (int pod = 0; pod < k; ++pod) {
+    add_risk_group(net, "pod(" + std::to_string(pod) + ")",
+                   std::move(pod_edges[static_cast<std::size_t>(pod)]));
+  }
+  for (int e = 0; e < info.num_edge; ++e) {
+    add_risk_group(net, "edge(" + std::to_string(e) + ")",
+                   std::move(uplink_edges[static_cast<std::size_t>(e)]));
+  }
 
   // Servers only at the edge layer (paper §III-A2).
   net.servers.assign(static_cast<std::size_t>(net.graph.num_nodes()), 0);

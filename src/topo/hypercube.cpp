@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tb {
 
@@ -13,13 +15,26 @@ Network make_hypercube(int dim, int servers_per_switch) {
   Network net;
   net.name = "Hypercube(d=" + std::to_string(dim) + ")";
   net.graph = Graph(n);
+  // Edge ids per flipped bit: a hypercube's dimension plane (all links that
+  // cross bit b) is its shared-risk unit. The u-major edge order interleaves
+  // dimensions, so collect ids as edges are added.
+  std::vector<std::vector<int>> dim_edges(static_cast<std::size_t>(dim));
+  int edge_id = 0;
   for (int u = 0; u < n; ++u) {
     for (int b = 0; b < dim; ++b) {
       const int v = u ^ (1 << b);
-      if (u < v) net.graph.add_edge(u, v);
+      if (u < v) {
+        net.graph.add_edge(u, v);
+        dim_edges[static_cast<std::size_t>(b)].push_back(edge_id);
+        ++edge_id;
+      }
     }
   }
   net.graph.finalize();
+  for (int b = 0; b < dim; ++b) {
+    add_risk_group(net, "dim(" + std::to_string(b) + ")",
+                   std::move(dim_edges[static_cast<std::size_t>(b)]));
+  }
   attach_servers_uniform(net, servers_per_switch);
   return net;
 }

@@ -130,6 +130,29 @@ void make_connected(std::vector<std::pair<int, int>>& edges, int n, Rng& rng,
   throw std::runtime_error("random graph: connectivity repair did not converge");
 }
 
+/// Random-graph wiring has no structural planes, but its physical cabling
+/// still runs in shared trays: partition the edges into fixed-size bundles
+/// by a seeded shuffle. The bundle stream is forked from the construction
+/// seed with its own constant so adding bundles perturbs neither the wiring
+/// nor any other consumer of the seed.
+constexpr std::uint64_t kCableBundleStream = 0x6a656c6c79666973ULL;  // "jellyfis"
+
+void add_cable_bundles(Network& net, std::uint64_t seed) {
+  const int m = net.graph.num_edges();
+  if (m < 2) return;
+  constexpr int kBundleSize = 4;
+  Rng rng(mix_seed(seed, kCableBundleStream));
+  const std::vector<int> perm = rng.permutation(m);
+  const int bundles = (m + kBundleSize - 1) / kBundleSize;
+  for (int b = 0; b < bundles; ++b) {
+    std::vector<int> edges;
+    for (int i = b * kBundleSize; i < std::min(m, (b + 1) * kBundleSize); ++i) {
+      edges.push_back(perm[static_cast<std::size_t>(i)]);
+    }
+    add_risk_group(net, "bundle(" + std::to_string(b) + ")", std::move(edges));
+  }
+}
+
 }  // namespace
 
 Graph random_graph_with_degrees(const std::vector<int>& degrees,
@@ -190,6 +213,7 @@ Network make_jellyfish(int n_switches, int degree, int servers_per_switch,
   net.graph = random_graph_with_degrees(
       std::vector<int>(static_cast<std::size_t>(n_switches), degree), seed);
   attach_servers_uniform(net, servers_per_switch);
+  add_cable_bundles(net, seed);
   return net;
 }
 
@@ -210,6 +234,7 @@ Network make_same_equipment_random(const Network& reference,
   net.name = "RandomGraph(equip=" + reference.name + ")";
   net.graph = random_graph_with_degrees(degrees, seed);
   net.servers = reference.servers;
+  add_cable_bundles(net, seed);
   return net;
 }
 

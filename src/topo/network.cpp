@@ -1,7 +1,9 @@
 #include "topo/network.h"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/algorithms.h"
 
@@ -35,11 +37,58 @@ void Network::validate() const {
   if (!is_connected(graph)) {
     throw std::logic_error("Network '" + name + "': disconnected graph");
   }
+  for (const RiskGroup& g : risk_groups) {
+    if (g.label.empty()) {
+      throw std::logic_error("Network '" + name + "': unlabeled risk group");
+    }
+    if (g.edges.empty()) {
+      throw std::logic_error("Network '" + name + "': empty risk group '" +
+                             g.label + "'");
+    }
+    int prev = -1;
+    for (const int e : g.edges) {
+      if (e <= prev || e >= graph.num_edges()) {
+        throw std::logic_error("Network '" + name + "': risk group '" +
+                               g.label + "' has bad/unsorted edge ids");
+      }
+      prev = e;
+    }
+  }
 }
 
 void attach_servers_uniform(Network& net, int per_switch) {
   net.servers.assign(static_cast<std::size_t>(net.graph.num_nodes()),
                      per_switch);
+}
+
+void add_risk_group(Network& net, std::string label, std::vector<int> edges) {
+  if (label.empty()) {
+    throw std::invalid_argument("add_risk_group: empty label");
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  if (edges.empty()) return;
+  if (edges.front() < 0 || edges.back() >= net.graph.num_edges()) {
+    throw std::out_of_range("add_risk_group: bad edge id in group '" + label +
+                            "'");
+  }
+  net.risk_groups.push_back({std::move(label), std::move(edges)});
+}
+
+void ensure_risk_groups(Network& net) {
+  if (!net.risk_groups.empty()) return;
+  const Graph& g = net.graph;
+  std::vector<std::vector<int>> incident(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (int e = 0; e < g.num_edges(); ++e) {
+    incident[static_cast<std::size_t>(g.edge_u(e))].push_back(e);
+    incident[static_cast<std::size_t>(g.edge_v(e))].push_back(e);
+  }
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (incident[static_cast<std::size_t>(v)].empty()) continue;
+    add_risk_group(net, "switch(" + std::to_string(v) + ")",
+                   std::move(incident[static_cast<std::size_t>(v)]));
+  }
 }
 
 }  // namespace tb

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tb {
 
@@ -22,22 +24,40 @@ Network make_torus(const std::vector<int>& dims, int servers_per_switch,
   }
   net.graph = Graph(static_cast<int>(nodes));
 
+  // Edges are added dimension-by-dimension, so each dimension plane — the
+  // shared-risk unit of a torus (one backplane / cable direction) — is a
+  // contiguous edge-id range recorded as it is built.
+  std::vector<std::pair<int, int>> plane_ranges;  // [first, last) per dim
   long stride = 1;
+  int edge_id = 0;
   for (const int size : dims) {
+    const int first_edge = edge_id;
     for (long v = 0; v < nodes; ++v) {
       const int digit = static_cast<int>((v / stride) % size);
       // +1 neighbour within the dimension.
       if (digit + 1 < size) {
         net.graph.add_edge(static_cast<int>(v), static_cast<int>(v + stride));
+        ++edge_id;
       } else if (wrap && size > 2) {
         // Wrap link back to digit 0 (skip for size 2: already adjacent).
         net.graph.add_edge(static_cast<int>(v),
                            static_cast<int>(v - static_cast<long>(size - 1) * stride));
+        ++edge_id;
       }
     }
+    plane_ranges.emplace_back(first_edge, edge_id);
     stride *= size;
   }
   net.graph.finalize();
+  for (std::size_t d = 0; d < plane_ranges.size(); ++d) {
+    std::vector<int> plane;
+    plane.reserve(
+        static_cast<std::size_t>(plane_ranges[d].second - plane_ranges[d].first));
+    for (int e = plane_ranges[d].first; e < plane_ranges[d].second; ++e) {
+      plane.push_back(e);
+    }
+    add_risk_group(net, "dim(" + std::to_string(d) + ")", std::move(plane));
+  }
   attach_servers_uniform(net, servers_per_switch);
   return net;
 }

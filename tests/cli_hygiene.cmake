@@ -92,6 +92,28 @@ check(NAME server_bad_store_dir EXPECT_RC 2 MATCH "open failed"
   INPUT ${WORK_DIR}/cli_hygiene_empty.txt
   COMMAND ${SERVER_BIN} --store ${WORK_DIR}/no_such_dir/x.store)
 
+# --- worst_case_tm (optional: only when examples are built) ------------
+# The adversarial-search example carries the same hygiene contract; its
+# analysis runs are too slow for this entry, so only the argv contract is
+# pinned (strict target parsing is the regression this guards: the old
+# std::atoi accepted garbage like "64abc" silently).
+if(DEFINED WORST_BIN)
+  check(NAME worst_help EXPECT_RC 0 MATCH "usage: worst_case_tm"
+    COMMAND ${WORST_BIN} --help)
+  check(NAME worst_version EXPECT_RC 0 MATCH "worst_case_tm "
+    COMMAND ${WORST_BIN} --version)
+  check(NAME worst_unknown_option EXPECT_RC 2 MATCH "unknown option"
+    COMMAND ${WORST_BIN} --definitely-not-an-option)
+  check(NAME worst_unknown_family EXPECT_RC 2 MATCH "unknown family"
+    COMMAND ${WORST_BIN} definitely-not-a-family)
+  check(NAME worst_garbage_target EXPECT_RC 2 MATCH "target_servers"
+    COMMAND ${WORST_BIN} hypercube 64abc)
+  check(NAME worst_out_of_range_target EXPECT_RC 2 MATCH "target_servers"
+    COMMAND ${WORST_BIN} hypercube 100001)
+  check(NAME worst_iterations_missing_value EXPECT_RC 2 MATCH "needs a value"
+    COMMAND ${WORST_BIN} --iterations)
+endif()
+
 # The hello handshake answers on clean EOF with protocol/version fields.
 file(WRITE ${WORK_DIR}/cli_hygiene_hello.jsonl "{\"op\": \"hello\"}\n")
 check(NAME server_hello EXPECT_RC 0 MATCH "\"protocol\": 1"

@@ -184,6 +184,9 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   b.scenario = "fail(f=0.1)";
   b.failed_links = 4;
   b.throughput_drop = 2.0 / 7.0;
+  b.risk_group = 3;
+  b.tm_scale = 1.5;
+  b.growth_step = 2;
   b.pivots = 123;
   b.phases = 456;
   b.dijkstras = 789;
@@ -211,6 +214,9 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   EXPECT_TRUE(ra.scenario.empty());
   EXPECT_EQ(ra.failed_links, -1);  // "na" in CSV: 0 is a real count
   EXPECT_TRUE(std::isnan(ra.throughput_drop));
+  EXPECT_EQ(ra.risk_group, -1);  // same sentinel rule as failed_links
+  EXPECT_TRUE(std::isnan(ra.tm_scale));
+  EXPECT_EQ(ra.growth_step, -1);
   EXPECT_EQ(ra.warm, 0);
   const exp::CellResult& rb = back.rows()[1];
   EXPECT_EQ(rb.topology, b.topology);
@@ -222,6 +228,9 @@ TEST(Results, CsvRoundTripsExactlyIncludingSentinels) {
   EXPECT_EQ(rb.scenario, b.scenario);
   EXPECT_EQ(rb.failed_links, b.failed_links);
   EXPECT_DOUBLE_EQ(rb.throughput_drop, b.throughput_drop);
+  EXPECT_EQ(rb.risk_group, b.risk_group);
+  EXPECT_DOUBLE_EQ(rb.tm_scale, b.tm_scale);
+  EXPECT_EQ(rb.growth_step, b.growth_step);
   EXPECT_EQ(rb.pivots, b.pivots);
   EXPECT_EQ(rb.phases, b.phases);
   EXPECT_EQ(rb.dijkstras, b.dijkstras);

@@ -1,0 +1,570 @@
+// Structured failure scenarios (PR 10): shared-risk link groups, traffic
+// surges/hotspots, incremental-expansion (growth) sweeps, and the
+// adversarial worst-case TM search. The battery pins the four contracts
+// the scenario layer promises:
+//   * every registry family exports validated structural risk groups;
+//   * scenarios revert bitwise — groups, surge, hotspot included;
+//   * fleet/sweep results are thread-, batch- and shard-invariant;
+//   * all sampling is seed-deterministic against independently computed
+//     expectation streams (kGroupSampleStream / kHotspotStream).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/registry.h"
+#include "exp/runner.h"
+#include "exp/shard.h"
+#include "exp/sweep.h"
+#include "mcf/adversary.h"
+#include "mcf/engine.h"
+#include "pool_test_env.h"
+#include "store/result_store.h"
+#include "tm/synthetic.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+#include "topo/hypercube.h"
+#include "topo/jellyfish.h"
+#include "topo/torus.h"
+#include "util/rng.h"
+
+namespace tb {
+namespace {
+
+[[maybe_unused]] const int kForcePoolThreads = test_env::force_pool_threads();
+
+mcf::SolveOptions lp_opts() {
+  mcf::SolveOptions o;
+  o.kind = mcf::SolverKind::ExactLP;
+  return o;
+}
+
+// --- risk-group derivation ------------------------------------------------
+
+TEST(RiskGroups, EveryRegistryFamilyExportsValidatedGroups) {
+  // The fleet's correlated-failure axis assumes groups exist on every
+  // instance the registry hands out — bespoke structural groups where the
+  // builder derives them, the switch(<v>) fallback everywhere else.
+  for (const Family f : all_families()) {
+    const Network net = family_representative(f, 16, /*seed=*/1);
+    EXPECT_FALSE(net.risk_groups.empty()) << family_name(f);
+    EXPECT_NO_THROW(net.validate()) << family_name(f);
+    for (const RiskGroup& g : net.risk_groups) {
+      EXPECT_FALSE(g.label.empty()) << family_name(f);
+      EXPECT_FALSE(g.edges.empty()) << family_name(f) << " " << g.label;
+    }
+  }
+}
+
+TEST(RiskGroups, FatTreeAndHypercubeStructuralShapes) {
+  // FatTree(k): one pod group per pod (its intra-pod mesh plus its
+  // agg->core uplinks), then one uplink-tray group per edge switch.
+  const Network ft = make_fat_tree(4);
+  const int pods = 4, half = 2, num_edge = pods * half;
+  ASSERT_EQ(ft.risk_groups.size(), static_cast<std::size_t>(pods + num_edge));
+  for (int p = 0; p < pods; ++p) {
+    EXPECT_EQ(ft.risk_groups[p].label, "pod(" + std::to_string(p) + ")");
+    // half*half intra-pod links + half*half uplinks.
+    EXPECT_EQ(ft.risk_groups[p].edges.size(), 8u);
+  }
+  for (int e = 0; e < num_edge; ++e) {
+    const RiskGroup& g = ft.risk_groups[static_cast<std::size_t>(pods + e)];
+    EXPECT_EQ(g.label, "edge(" + std::to_string(e) + ")");
+    EXPECT_EQ(g.edges.size(), static_cast<std::size_t>(half));
+  }
+
+  // Hypercube(d): one dimension-plane group per flipped bit, each with
+  // 2^(d-1) links, tiling the edge set exactly.
+  const Network hc = make_hypercube(4);
+  ASSERT_EQ(hc.risk_groups.size(), 4u);
+  std::set<int> covered;
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_EQ(hc.risk_groups[b].label, "dim(" + std::to_string(b) + ")");
+    EXPECT_EQ(hc.risk_groups[b].edges.size(), 8u);
+    covered.insert(hc.risk_groups[b].edges.begin(),
+                   hc.risk_groups[b].edges.end());
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), hc.graph.num_edges());
+}
+
+TEST(RiskGroups, TorusAndDragonflyStructuralShapes) {
+  // Torus: one plane group per dimension, tiling the edges.
+  const Network torus = make_torus({4, 4}, 1);
+  ASSERT_EQ(torus.risk_groups.size(), 2u);
+  std::size_t torus_edges = 0;
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_EQ(torus.risk_groups[d].label, "dim(" + std::to_string(d) + ")");
+    torus_edges += torus.risk_groups[d].edges.size();
+  }
+  EXPECT_EQ(torus_edges, static_cast<std::size_t>(torus.graph.num_edges()));
+
+  // Dragonfly: one global-cabling group per router group; every global
+  // link appears in both endpoint groups, so the membership total is twice
+  // the global-link count (groups may overlap by contract).
+  const int p = 2, a = 4, h = 2, g = a * h + 1;
+  const Network df = make_dragonfly(p, a, h);
+  ASSERT_EQ(df.risk_groups.size(), static_cast<std::size_t>(g));
+  const int intra = g * a * (a - 1) / 2;
+  std::size_t memberships = 0;
+  for (int grp = 0; grp < g; ++grp) {
+    EXPECT_EQ(df.risk_groups[grp].label, "global(" + std::to_string(grp) + ")");
+    memberships += df.risk_groups[grp].edges.size();
+  }
+  EXPECT_EQ(memberships,
+            2u * static_cast<std::size_t>(df.graph.num_edges() - intra));
+}
+
+TEST(RiskGroups, JellyfishCableBundlesAreSeededPartition) {
+  const Network jf = make_jellyfish(16, 4, 1, /*seed=*/9);
+  const int m = jf.graph.num_edges();
+  ASSERT_EQ(jf.risk_groups.size(), static_cast<std::size_t>((m + 3) / 4));
+  std::set<int> covered;
+  for (std::size_t b = 0; b < jf.risk_groups.size(); ++b) {
+    EXPECT_EQ(jf.risk_groups[b].label, "bundle(" + std::to_string(b) + ")");
+    EXPECT_LE(jf.risk_groups[b].edges.size(), 4u);
+    for (const int e : jf.risk_groups[b].edges) {
+      EXPECT_TRUE(covered.insert(e).second) << "bundles must be disjoint";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), m);
+
+  // The bundle partition is a pure function of the construction seed.
+  const Network again = make_jellyfish(16, 4, 1, /*seed=*/9);
+  ASSERT_EQ(again.risk_groups.size(), jf.risk_groups.size());
+  for (std::size_t b = 0; b < jf.risk_groups.size(); ++b) {
+    EXPECT_EQ(again.risk_groups[b].edges, jf.risk_groups[b].edges);
+  }
+}
+
+TEST(RiskGroups, EnsureRiskGroupsFallbackAndNoOp) {
+  Network net;
+  net.name = "path3";
+  net.graph = Graph(3);
+  net.graph.add_edge(0, 1);
+  net.graph.add_edge(1, 2);
+  net.graph.finalize();
+  net.servers = {1, 1, 1};
+  ensure_risk_groups(net);
+  ASSERT_EQ(net.risk_groups.size(), 3u);
+  EXPECT_EQ(net.risk_groups[0].label, "switch(0)");
+  EXPECT_EQ(net.risk_groups[1].edges.size(), 2u);  // middle node: both links
+  ensure_risk_groups(net);  // idempotent
+  EXPECT_EQ(net.risk_groups.size(), 3u);
+
+  // Bespoke builder groups always win: the fallback never runs over them.
+  Network ft = make_fat_tree(4);
+  const std::size_t bespoke = ft.risk_groups.size();
+  ensure_risk_groups(ft);
+  EXPECT_EQ(ft.risk_groups.size(), bespoke);
+}
+
+// --- scenario engine ------------------------------------------------------
+
+TEST(ScenarioEngine, CorrelatedGroupSamplingMatchesIndependentStream) {
+  mcf::ScenarioSpec spec;
+  spec.failed_groups = {2};
+  spec.random_group_fraction = 0.5;
+  spec.seed = 77;
+  const std::vector<int> got = mcf::sampled_risk_groups(spec, 4);
+
+  // The documented stream, computed without the engine: the explicit set
+  // plus Rng(mix_seed(seed, kGroupSampleStream)) sampling round(f*G)
+  // groups, sorted and deduplicated.
+  std::vector<int> expected = {2};
+  Rng rng(mix_seed(spec.seed, mcf::kGroupSampleStream));
+  for (const int gi : rng.sample_without_replacement(4, 2)) {
+    expected.push_back(gi);
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  EXPECT_EQ(got, expected);
+
+  mcf::ScenarioSpec bad_frac;
+  bad_frac.random_group_fraction = 1.5;
+  EXPECT_THROW(mcf::sampled_risk_groups(bad_frac, 4), std::invalid_argument);
+  mcf::ScenarioSpec no_groups;
+  no_groups.random_group_fraction = 0.5;
+  EXPECT_THROW(mcf::sampled_risk_groups(no_groups, 0), std::invalid_argument);
+  mcf::ScenarioSpec bad_index;
+  bad_index.failed_groups = {4};
+  EXPECT_THROW(mcf::sampled_risk_groups(bad_index, 4), std::out_of_range);
+}
+
+TEST(ScenarioEngine, GroupSurgeHotspotRevertBitwiseAcrossRegistry) {
+  // The registry-wide revert contract with every new perturbation kind
+  // active at once: after clear_scenario() the working capacities and a
+  // cold re-solve must be bitwise the pre-scenario ones on every family.
+  for (const Family f : all_families()) {
+    const Network net = family_representative(f, 16, /*seed=*/1);
+    const TrafficMatrix tm = random_matching(net, 1, /*seed=*/5);
+    mcf::ThroughputEngine engine(net);
+    const auto base = engine.solve(tm);
+    const std::vector<double> caps = engine.arc_capacities();
+
+    mcf::ScenarioSpec spec;
+    spec.random_group_fraction = 0.5;
+    spec.tm_scale = 1.5;
+    spec.hotspot_fraction = 0.25;
+    spec.hotspot_factor = 2.0;
+    spec.seed = 123;
+    engine.apply_scenario(spec);
+    EXPECT_GT(engine.failed_group_count(), 0) << family_name(f);
+    const auto degraded = engine.solve(tm);
+    EXPECT_GE(degraded.throughput, 0.0) << family_name(f);
+
+    engine.clear_scenario();
+    EXPECT_EQ(engine.failed_group_count(), 0) << family_name(f);
+    EXPECT_EQ(engine.arc_capacities(), caps) << family_name(f);
+    const auto restored = engine.solve(tm);
+    EXPECT_EQ(restored.throughput, base.throughput) << family_name(f);
+    EXPECT_EQ(restored.upper_bound, base.upper_bound) << family_name(f);
+    EXPECT_EQ(restored.stats.phases, base.stats.phases) << family_name(f);
+    EXPECT_EQ(restored.stats.pivots, base.stats.pivots) << family_name(f);
+  }
+}
+
+TEST(ScenarioEngine, SurgeScalesExactLpInversely) {
+  // Surge scaling touches only the input TM, so the exact LP has a closed
+  // form: doubling every demand exactly halves throughput.
+  const Network hc = make_hypercube(3);
+  const TrafficMatrix tm = all_to_all(hc);
+  mcf::ThroughputEngine engine(hc);
+  const auto base = engine.solve(tm, lp_opts());
+  ASSERT_GT(base.throughput, 0.0);
+
+  mcf::ScenarioSpec surge;
+  surge.tm_scale = 2.0;
+  engine.apply_scenario(surge);
+  EXPECT_EQ(engine.failed_edge_count(), 0);  // capacities untouched
+  const auto surged = engine.solve(tm, lp_opts());
+  EXPECT_NEAR(surged.throughput, base.throughput / 2.0,
+              1e-9 * base.throughput);
+
+  engine.clear_scenario();
+  const auto restored = engine.solve(tm, lp_opts());
+  EXPECT_EQ(restored.throughput, base.throughput);
+}
+
+TEST(ScenarioEngine, HotspotScalingMatchesScenarioScaledTm) {
+  const Network jf = make_jellyfish(16, 4, 1, /*seed=*/3);
+  const TrafficMatrix tm = random_matching(jf, 2, /*seed=*/9);
+  const auto n = static_cast<int>(tm.demands.size());
+  ASSERT_GT(n, 0);
+
+  mcf::ScenarioSpec spec;
+  spec.hotspot_fraction = 0.5;
+  spec.hotspot_factor = 3.0;
+  spec.seed = 123;
+  const TrafficMatrix scaled = mcf::scenario_scaled_tm(
+      tm, spec.tm_scale, spec.hotspot_fraction, spec.hotspot_factor,
+      spec.seed);
+
+  // The boosted set is exactly the documented hotspot stream's sample.
+  const int k = static_cast<int>(std::llround(0.5 * n));
+  Rng rng(mix_seed(spec.seed, mcf::kHotspotStream));
+  std::set<int> boosted;
+  for (const int i : rng.sample_without_replacement(n, k)) boosted.insert(i);
+  for (int i = 0; i < n; ++i) {
+    const double factor = boosted.count(i) ? 3.0 : 1.0;
+    EXPECT_EQ(scaled.demands[static_cast<std::size_t>(i)].amount,
+              tm.demands[static_cast<std::size_t>(i)].amount * factor);
+  }
+
+  // An engine with the hotspot scenario active routes that scaled TM and
+  // nothing else: bitwise equal to a cold solve of the scaled TM.
+  mcf::ThroughputEngine hot(jf);
+  hot.apply_scenario(spec);
+  const auto via_scenario = hot.solve(tm, lp_opts());
+  mcf::ThroughputEngine cold(jf);
+  const auto direct = cold.solve(scaled, lp_opts());
+  EXPECT_EQ(via_scenario.throughput, direct.throughput);
+  EXPECT_EQ(via_scenario.stats.pivots, direct.stats.pivots);
+}
+
+TEST(ScenarioEngine, SupersetOfFailedGroupsIsMonotone) {
+  // Failing more shared-risk groups can only remove capacity, so exact LP
+  // throughput is non-increasing along a group-superset chain
+  // (disconnection reports 0, which keeps the chain monotone).
+  const Network jf = make_jellyfish(16, 4, 1, /*seed=*/3);
+  ASSERT_GE(jf.risk_groups.size(), 3u);
+  const TrafficMatrix tm = random_matching(jf, 1, /*seed=*/5);
+  double prev = std::numeric_limits<double>::infinity();
+  std::vector<int> failed;
+  for (int gi = 0; gi < 3; ++gi) {
+    failed.push_back(gi);
+    mcf::ScenarioSpec spec;
+    spec.failed_groups = failed;
+    const DegradedResult r = degraded_throughput(jf, tm, spec, lp_opts());
+    EXPECT_EQ(r.failed_groups, gi + 1);
+    EXPECT_LE(r.degraded, prev + 1e-9);
+    prev = r.degraded;
+  }
+}
+
+// --- scenario fleet -------------------------------------------------------
+
+std::vector<mcf::ScenarioSpec> structured_specs() {
+  std::vector<mcf::ScenarioSpec> specs(4);
+  specs[0].random_group_fraction = 0.25;
+  specs[0].seed = 11;
+  specs[1].tm_scale = 1.5;
+  specs[2].hotspot_fraction = 0.5;
+  specs[2].hotspot_factor = 2.0;
+  specs[2].seed = 12;
+  specs[3].random_group_fraction = 0.25;
+  specs[3].tm_scale = 1.25;
+  specs[3].hotspot_fraction = 0.25;
+  specs[3].hotspot_factor = 2.0;
+  specs[3].seed = 13;
+  return specs;
+}
+
+TEST(ScenarioFleet, BatchMatchesSerialBitwiseForStructuredScenarios) {
+  // The fleet contract extended to the new scenario kinds: one shared
+  // baseline + forked warm solves must be bitwise the one-at-a-time
+  // degraded_throughput answers, for groups, surge, hotspot and compound.
+  const Network jf = make_jellyfish(16, 4, 1, /*seed=*/3);
+  const TrafficMatrix tm = random_matching(jf, 2, /*seed=*/7);
+  const std::vector<mcf::ScenarioSpec> specs = structured_specs();
+  const std::vector<DegradedResult> batch =
+      degraded_throughput_batch(jf, tm, specs, lp_opts());
+  ASSERT_EQ(batch.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const DegradedResult one = degraded_throughput(jf, tm, specs[i], lp_opts());
+    EXPECT_EQ(batch[i].baseline, one.baseline) << i;
+    EXPECT_EQ(batch[i].degraded, one.degraded) << i;
+    EXPECT_EQ(batch[i].drop, one.drop) << i;
+    EXPECT_EQ(batch[i].failed_links, one.failed_links) << i;
+    EXPECT_EQ(batch[i].failed_groups, one.failed_groups) << i;
+  }
+  // The fleet records the resolved group count of each cell.
+  EXPECT_EQ(batch[0].failed_groups,
+            static_cast<int>(
+                mcf::sampled_risk_groups(
+                    specs[0], static_cast<int>(jf.risk_groups.size()))
+                    .size()));
+  EXPECT_EQ(batch[1].failed_groups, 0);
+  EXPECT_EQ(batch[1].failed_links, 0);  // surge fails nothing
+}
+
+TEST(ScenarioFleet, ParallelAndInlineFanoutAgree) {
+  const Network jf = make_jellyfish(16, 4, 1, /*seed=*/3);
+  const TrafficMatrix tm = random_matching(jf, 2, /*seed=*/7);
+  const std::vector<mcf::ScenarioSpec> specs = structured_specs();
+  const std::vector<DegradedResult> parallel = degraded_throughput_batch(
+      jf, tm, specs, lp_opts(), /*parallel_cells=*/true);
+  const std::vector<DegradedResult> inline_run = degraded_throughput_batch(
+      jf, tm, specs, lp_opts(), /*parallel_cells=*/false);
+  ASSERT_EQ(parallel.size(), inline_run.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].degraded, inline_run[i].degraded) << i;
+    EXPECT_EQ(parallel[i].drop, inline_run[i].drop) << i;
+    EXPECT_EQ(parallel[i].failed_groups, inline_run[i].failed_groups) << i;
+  }
+}
+
+// --- growth sweeps --------------------------------------------------------
+
+exp::Sweep growth_sweep() {
+  exp::Sweep s;
+  s.topologies = {exp::representative_spec(Family::Hypercube, 16, 1)};
+  s.tms = {exp::a2a_tm()};
+  s.solve.kind = mcf::SolverKind::ExactLP;
+  s.growth_steps = 3;
+  s.growth_start = 0.5;
+  s.base_seed = 5;
+  return s;
+}
+
+TEST(GrowthSweep, FillsColumnsAndFinalStageMatchesIntact) {
+  const exp::Sweep sweep = growth_sweep();
+  exp::Runner runner;
+  const exp::ResultSet rs = runner.run(sweep);
+  ASSERT_EQ(rs.size(), 3u);
+  for (int g = 0; g < 3; ++g) {
+    const exp::CellResult& r = rs.rows()[static_cast<std::size_t>(g)];
+    EXPECT_EQ(r.scenario, "grow(step=" + std::to_string(g) + "/3)");
+    EXPECT_EQ(r.growth_step, g);
+    EXPECT_EQ(r.risk_group, 0);   // fleet cell: actual value, not the NA -1
+    EXPECT_EQ(r.tm_scale, 1.0);
+    EXPECT_GE(r.throughput, 0.0);
+  }
+  // The final stage is the full instance: its (exact) throughput matches a
+  // plain absolute sweep of the same grid.
+  exp::Sweep plain = growth_sweep();
+  plain.growth_steps = 0;
+  exp::Runner plain_runner;
+  const exp::ResultSet intact = plain_runner.run(plain);
+  ASSERT_EQ(intact.size(), 1u);
+  EXPECT_NEAR(rs.rows()[2].throughput, intact.rows()[0].throughput, 1e-9);
+  EXPECT_EQ(intact.rows()[0].growth_step, -1);  // non-fleet cell keeps NA
+}
+
+TEST(GrowthSweep, SerialAndParallelCsvIdentical) {
+  const exp::Sweep sweep = growth_sweep();
+  exp::Runner serial(/*parallel=*/false);
+  exp::Runner parallel(/*parallel=*/true);
+  EXPECT_EQ(serial.run(sweep).to_csv(), parallel.run(sweep).to_csv());
+}
+
+TEST(GrowthSweep, ShardedMergeReproducesUnshardedBytes) {
+  const exp::Sweep sweep = growth_sweep();
+  exp::Runner whole;
+  const std::string expected =
+      "# growth\n" + whole.run(sweep).to_csv() + "\n";
+  std::string cat;
+  for (std::size_t i = 0; i < 2; ++i) {
+    exp::Runner shard_runner;  // fresh runner: a separate machine
+    exp::RunOptions opts;
+    opts.shard = exp::ShardSpec{i, 2};
+    std::ostringstream os;
+    shard_runner.run(sweep, opts).emit(os, "growth");
+    cat += os.str();
+  }
+  std::istringstream in(cat);
+  EXPECT_EQ(exp::merge_slices(in), expected);
+}
+
+TEST(GrowthSweep, ModeValidationRejectsBadCombos) {
+  exp::Runner runner;
+  exp::Sweep s = growth_sweep();
+  s.scenarios = exp::random_failure_scenarios({0.1});
+  EXPECT_THROW(runner.run(s), std::invalid_argument);
+  s = growth_sweep();
+  s.trials = 2;
+  EXPECT_THROW(runner.run(s), std::invalid_argument);
+  s = growth_sweep();
+  s.warm_start = true;
+  EXPECT_THROW(runner.run(s), std::invalid_argument);
+  s = growth_sweep();
+  s.cut_bounds = true;
+  EXPECT_THROW(runner.run(s), std::invalid_argument);
+  s = growth_sweep();
+  s.growth_start = 0.0;
+  EXPECT_THROW(runner.run(s), std::invalid_argument);
+  s = growth_sweep();
+  s.growth_steps = -1;
+  EXPECT_THROW(runner.run(s), std::invalid_argument);
+}
+
+// --- correlated failures through the sweep --------------------------------
+
+TEST(ScenarioSweep, CorrelatedFailuresColumnsAndThreadInvariance) {
+  exp::Sweep sweep;
+  sweep.topologies = {exp::representative_spec(Family::Jellyfish, 16, 1)};
+  sweep.tms = {exp::a2a_tm()};
+  sweep.solve.kind = mcf::SolverKind::ExactLP;
+  sweep.scenarios = exp::correlated_group_scenarios({0.25});
+  sweep.scenarios.push_back(exp::surge_scenario(1.5));
+  sweep.scenarios.push_back(exp::hotspot_scenario(0.5, 2.0));
+  sweep.base_seed = 7;
+
+  exp::Runner serial(/*parallel=*/false);
+  exp::Runner parallel(/*parallel=*/true);
+  const exp::ResultSet rs = parallel.run(sweep);
+  EXPECT_EQ(serial.run(sweep).to_csv(), rs.to_csv());
+
+  ASSERT_EQ(rs.size(), 3u);
+  const std::size_t groups =
+      sweep.topologies[0].build()->risk_groups.size();
+  const exp::CellResult& correlated = rs.rows()[0];
+  EXPECT_EQ(correlated.scenario, "groups(f=0.25)");
+  EXPECT_EQ(correlated.risk_group,
+            static_cast<int>(std::llround(0.25 * static_cast<double>(groups))));
+  EXPECT_GT(correlated.failed_links, 0);
+  EXPECT_EQ(correlated.tm_scale, 1.0);
+  const exp::CellResult& surge = rs.rows()[1];
+  EXPECT_EQ(surge.scenario, "surge(x=1.5)");
+  EXPECT_EQ(surge.risk_group, 0);
+  EXPECT_EQ(surge.failed_links, 0);
+  EXPECT_EQ(surge.tm_scale, 1.5);
+  const exp::CellResult& hotspot = rs.rows()[2];
+  EXPECT_EQ(hotspot.scenario, "hotspot(f=0.5,x=2)");
+  EXPECT_EQ(hotspot.tm_scale, 1.0);
+  for (const exp::CellResult& r : rs.rows()) {
+    EXPECT_EQ(r.growth_step, -1);  // failure axis, not growth
+    EXPECT_FALSE(std::isnan(r.throughput_drop));
+  }
+}
+
+// --- result schema --------------------------------------------------------
+
+TEST(Results, SchemaCarriesStructuredScenarioColumns) {
+  // Column order is part of the byte contract; the store's schema hash is
+  // derived from the header, so the new columns bump it automatically and
+  // pre-PR stores are rejected loudly instead of mis-parsed.
+  EXPECT_NE(
+      exp::csv_header().find("throughput_drop,risk_group,tm_scale,growth_step,pivots"),
+      std::string::npos);
+  EXPECT_EQ(store::store_schema_fingerprint(),
+            store::fnv1a64(exp::csv_header()));
+}
+
+// --- adversarial worst-case search ----------------------------------------
+
+TEST(Adversary, SearchIsDeterministicAndNoWorseThanLm) {
+  const Network jf = make_jellyfish(12, 3, 1, /*seed=*/5);
+  mcf::WorstCaseOptions opts;
+  opts.iterations = 8;
+  opts.restarts = 1;
+  opts.seed = 3;
+  opts.solve = lp_opts();
+  const mcf::WorstCaseResult a = mcf::worst_case_matching(jf, opts);
+  const mcf::WorstCaseResult b = mcf::worst_case_matching(jf, opts);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.initial, b.initial);
+  EXPECT_EQ(a.solves, b.solves);
+  ASSERT_EQ(a.tm.demands.size(), b.tm.demands.size());
+  for (std::size_t i = 0; i < a.tm.demands.size(); ++i) {
+    EXPECT_EQ(a.tm.demands[i].src, b.tm.demands[i].src);
+    EXPECT_EQ(a.tm.demands[i].dst, b.tm.demands[i].dst);
+    EXPECT_EQ(a.tm.demands[i].amount, b.tm.demands[i].amount);
+  }
+
+  // The longest-matching candidate anchors the search: the result can only
+  // be at least as hard (strict-decrease acceptance).
+  EXPECT_GT(a.initial, 0.0);
+  EXPECT_LE(a.throughput, a.initial + 1e-12);
+  EXPECT_GT(a.solves, 0);
+
+  // The reported TM is a valid aggregated matching TM.
+  EXPECT_EQ(a.tm.name, "WorstCase");
+  ASSERT_FALSE(a.tm.demands.empty());
+  for (const Demand& d : a.tm.demands) {
+    EXPECT_NE(d.src, d.dst);
+    EXPECT_GE(d.src, 0);
+    EXPECT_LT(d.src, jf.graph.num_nodes());
+    EXPECT_GE(d.dst, 0);
+    EXPECT_LT(d.dst, jf.graph.num_nodes());
+    EXPECT_GT(d.amount, 0.0);
+  }
+}
+
+TEST(Adversary, RejectsInvalidArguments) {
+  const Network jf = make_jellyfish(12, 3, 1, /*seed=*/5);
+  mcf::WorstCaseOptions bad;
+  bad.iterations = -1;
+  EXPECT_THROW(mcf::worst_case_matching(jf, bad), std::invalid_argument);
+  bad = {};
+  bad.restarts = -1;
+  EXPECT_THROW(mcf::worst_case_matching(jf, bad), std::invalid_argument);
+
+  // Fewer than two server slots: no matching exists.
+  Network tiny;
+  tiny.name = "tiny";
+  tiny.graph = Graph(2);
+  tiny.graph.add_edge(0, 1);
+  tiny.graph.finalize();
+  tiny.servers = {1, 0};
+  EXPECT_THROW(mcf::worst_case_matching(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tb

@@ -125,6 +125,11 @@ Value record_json(const tb::api::Result& r) {
                             ? Value::null()
                             : Value::number_v(r.failed_links));
   o.set("throughput_drop", Value::number_v(r.throughput_drop));
+  o.set("risk_group", r.risk_group < 0 ? Value::null()
+                                       : Value::number_v(r.risk_group));
+  o.set("tm_scale", Value::number_v(r.tm_scale));
+  o.set("growth_step", r.growth_step < 0 ? Value::null()
+                                         : Value::number_v(r.growth_step));
   o.set("pivots", Value::number_v(static_cast<double>(r.pivots)));
   o.set("phases", Value::number_v(static_cast<double>(r.phases)));
   o.set("dijkstras", Value::number_v(static_cast<double>(r.dijkstras)));
